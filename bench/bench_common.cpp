@@ -1,0 +1,101 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace svmsim::bench {
+
+Options Options::parse(int argc, char** argv) {
+  harness::Cli cli(argc, argv);
+  Options opt;
+  const std::string scale = cli.get_or("scale", "small");
+  if (scale == "tiny") {
+    opt.scale = apps::Scale::kTiny;
+  } else if (scale == "large") {
+    opt.scale = apps::Scale::kLarge;
+  } else {
+    opt.scale = apps::Scale::kSmall;
+  }
+  opt.csv_dir = cli.get_or("csv", "");
+  if (auto apps_arg = cli.get("apps")) {
+    std::stringstream ss(*apps_arg);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) opt.app_names.push_back(item);
+    }
+  } else {
+    opt.app_names = apps::suite();
+  }
+  return opt;
+}
+
+SimConfig base_config() {
+  SimConfig cfg;
+  cfg.comm = CommParams::achievable();
+  return cfg;
+}
+
+std::vector<std::vector<harness::AppRun>> run_figure(
+    const std::string& figure, const std::string& param_name,
+    const std::vector<double>& values,
+    const std::function<void(SimConfig&, double)>& apply, const Options& opt,
+    harness::Sweep& sweep,
+    const std::function<std::string(double)>& value_label) {
+  auto label = [&](double v) {
+    return value_label ? value_label(v) : harness::fmt(v, 0);
+  };
+
+  std::vector<std::string> header{"application"};
+  for (double v : values) header.push_back(param_name + "=" + label(v));
+  harness::Table table(header);
+
+  std::vector<std::vector<harness::AppRun>> all;
+  for (const auto& app : opt.app_names) {
+    std::vector<harness::AppRun> runs =
+        sweep.run_sweep(app, base_config(), values, apply);
+    std::vector<std::string> row{app};
+    for (const auto& r : runs) row.push_back(harness::fmt(r.speedup()));
+    table.add_row(std::move(row));
+    all.push_back(std::move(runs));
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
+  }
+  std::fprintf(stderr, "\n");
+
+  std::printf("== %s: speedup (16 processors) vs %s ==\n", figure.c_str(),
+              param_name.c_str());
+  table.print();
+  harness::maybe_write_csv(table, opt.csv_dir, figure);
+  return all;
+}
+
+void print_relation(const std::string& figure,
+                    const std::string& slowdown_label,
+                    const std::string& metric_label,
+                    const std::vector<std::vector<harness::AppRun>>& sweeps,
+                    const std::function<double(const harness::AppRun&)>& metric,
+                    const Options& opt) {
+  std::vector<double> slowdowns;
+  std::vector<double> metrics;
+  for (const auto& runs : sweeps) {
+    slowdowns.push_back(std::max(0.0, harness::max_slowdown_pct(runs)));
+    metrics.push_back(metric(runs.front()));
+  }
+  const double max_s = std::max(1e-12, *std::max_element(slowdowns.begin(),
+                                                         slowdowns.end()));
+  const double max_m =
+      std::max(1e-12, *std::max_element(metrics.begin(), metrics.end()));
+
+  harness::Table table({"application", slowdown_label, metric_label});
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    table.add_row({opt.app_names[i], harness::fmt(slowdowns[i] / max_s),
+                   harness::fmt(metrics[i] / max_m)});
+  }
+  std::printf("== %s: normalized %s vs normalized %s ==\n", figure.c_str(),
+              slowdown_label.c_str(), metric_label.c_str());
+  table.print();
+  harness::maybe_write_csv(table, opt.csv_dir, figure);
+}
+
+}  // namespace svmsim::bench

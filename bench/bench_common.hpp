@@ -1,0 +1,52 @@
+// Shared infrastructure for the figure/table reproduction binaries.
+//
+// Every bench accepts:
+//   --scale=tiny|small|large   problem sizes (default small)
+//   --csv=<dir>                also dump machine-readable CSV
+//   --apps=a,b,c               restrict to a subset of the suite
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "core/params.hpp"
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
+#include "harness/sweep.hpp"
+
+namespace svmsim::bench {
+
+struct Options {
+  apps::Scale scale = apps::Scale::kSmall;
+  std::string csv_dir;
+  std::vector<std::string> app_names;
+
+  static Options parse(int argc, char** argv);
+};
+
+/// The paper's default machine at the achievable point.
+[[nodiscard]] SimConfig base_config();
+
+/// Run one parameter sweep over the whole suite and print the figure's
+/// series: one row per application, one speedup column per parameter value.
+/// Returns all runs (apps x values) for further analysis.
+std::vector<std::vector<harness::AppRun>> run_figure(
+    const std::string& figure, const std::string& param_name,
+    const std::vector<double>& values,
+    const std::function<void(SimConfig&, double)>& apply, const Options& opt,
+    harness::Sweep& sweep,
+    const std::function<std::string(double)>& value_label = nullptr);
+
+/// Normalized-correlation figure (Figures 6/9/11): slowdown between the
+/// sweep's endpoints, against a per-app predictor metric, both normalized
+/// to their maxima.
+void print_relation(const std::string& figure,
+                    const std::string& slowdown_label,
+                    const std::string& metric_label,
+                    const std::vector<std::vector<harness::AppRun>>& sweeps,
+                    const std::function<double(const harness::AppRun&)>& metric,
+                    const Options& opt);
+
+}  // namespace svmsim::bench

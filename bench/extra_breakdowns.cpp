@@ -1,0 +1,63 @@
+// Paper §7 ("Limitations on Application Performance"): where the parallel
+// execution time goes for each application, at the achievable and the best
+// configurations. This is the per-application cut behind the paper's
+// conclusions about which parameter limits which program.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/runner.hpp"
+
+namespace {
+
+std::vector<std::string> breakdown_row(const std::string& app,
+                                       const char* config,
+                                       const svmsim::RunResult& r) {
+  using namespace svmsim;
+  const Breakdown agg = r.stats.aggregate();
+  const auto pct = [&](TimeCat c) {
+    return harness::fmt(100.0 * static_cast<double>(agg.get(c)) /
+                            static_cast<double>(agg.total()),
+                        1) +
+           "%";
+  };
+  return {app,
+          config,
+          pct(TimeCat::kCompute),
+          pct(TimeCat::kMemStall),
+          pct(TimeCat::kDataWait),
+          pct(TimeCat::kLockWait),
+          pct(TimeCat::kBarrierWait),
+          pct(TimeCat::kHandler),
+          pct(TimeCat::kProtocol)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+
+  harness::Table t({"application", "config", "compute", "mem", "data-wait",
+                    "lock", "barrier", "handler", "protocol"});
+  for (const auto& app : opt.app_names) {
+    {
+      auto w = apps::make_app(app, opt.scale);
+      auto r = run(*w, bench::base_config());
+      t.add_row(breakdown_row(app, "achievable", r));
+    }
+    {
+      SimConfig best = bench::base_config();
+      best.comm = CommParams::best();
+      auto w = apps::make_app(app, opt.scale);
+      auto r = run(*w, best);
+      t.add_row(breakdown_row(app, "best", r));
+    }
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
+  }
+  std::fprintf(stderr, "\n");
+  std::printf("== Extra (paper 7): execution-time breakdowns ==\n");
+  t.print();
+  harness::maybe_write_csv(t, opt.csv_dir, "extra_breakdowns");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Paper §5 extras: interrupt sensitivity with uniprocessor nodes, and
+// round-robin vs fixed interrupt delivery within SMP nodes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+  harness::Sweep sweep(opt.scale);
+
+  // (a) Interrupt cost sweep with uniprocessor nodes.
+  {
+    harness::Table t({"application", "intr=0", "intr=500", "intr=2500",
+                      "intr=5000"});
+    for (const auto& app : opt.app_names) {
+      std::vector<std::string> row{app};
+      for (double v : {0.0, 500.0, 2500.0, 5000.0}) {
+        SimConfig cfg = bench::base_config();
+        cfg.comm.procs_per_node = 1;
+        cfg.comm.interrupt_cost = static_cast<Cycles>(v);
+        auto run = sweep.run_point(app, cfg, v);
+        row.push_back(harness::fmt(run.speedup()));
+        std::fprintf(stderr, ".");
+        std::fflush(stderr);
+      }
+      t.add_row(std::move(row));
+    }
+    std::fprintf(stderr, "\n");
+    std::printf(
+        "== Extra (paper 5): interrupt-cost sweep, uniprocessor nodes ==\n");
+    t.print();
+    harness::maybe_write_csv(t, opt.csv_dir, "extra_intr_uniproc");
+  }
+
+  // (b) Fixed processor-0 delivery vs round-robin.
+  {
+    harness::Table t({"application", "fixed-proc0", "round-robin"});
+    for (const auto& app : opt.app_names) {
+      std::vector<std::string> row{app};
+      for (auto scheme : {InterruptScheme::kFixedProcessor,
+                          InterruptScheme::kRoundRobin}) {
+        SimConfig cfg = bench::base_config();
+        cfg.comm.interrupt_scheme = scheme;
+        auto run = sweep.run_point(app, cfg, static_cast<double>(scheme));
+        row.push_back(harness::fmt(run.speedup()));
+        std::fprintf(stderr, ".");
+        std::fflush(stderr);
+      }
+      t.add_row(std::move(row));
+    }
+    std::fprintf(stderr, "\n");
+    std::printf(
+        "== Extra (paper 5): fixed vs round-robin interrupt delivery ==\n");
+    t.print();
+    harness::maybe_write_csv(t, opt.csv_dir, "extra_intr_scheme");
+  }
+  return 0;
+}

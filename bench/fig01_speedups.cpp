@@ -1,0 +1,26 @@
+// Figure 1: ideal and realistic (achievable) speedups for each application,
+// on 16 processors with 4 per node.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+  harness::Sweep sweep(opt.scale);
+
+  harness::Table t({"application", "achievable speedup", "ideal speedup"});
+  for (const auto& app : opt.app_names) {
+    auto run = sweep.run_point(app, bench::base_config(), 0);
+    t.add_row({app, harness::fmt(run.speedup()),
+               harness::fmt(run.ideal_speedup())});
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
+  }
+  std::fprintf(stderr, "\n");
+  std::printf(
+      "== Figure 1: ideal vs achievable speedups (16 procs, 4/node) ==\n");
+  t.print();
+  harness::maybe_write_csv(t, opt.csv_dir, "fig01");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 3: number of messages sent per processor per million compute
+// cycles, at 1, 4 and 8 processors per node.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+
+  harness::Table t(
+      {"application", "1 proc/node", "4 procs/node", "8 procs/node"});
+  for (const auto& app : opt.app_names) {
+    std::vector<std::string> row{app};
+    for (int ppn : {1, 4, 8}) {
+      SimConfig cfg = bench::base_config();
+      cfg.comm.procs_per_node = ppn;
+      auto w = apps::make_app(app, opt.scale);
+      auto r = run(*w, cfg);
+      row.push_back(
+          harness::fmt(r.per_proc_per_mcycles(r.stats.counters().messages_sent)));
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
+    }
+    t.add_row(std::move(row));
+  }
+  std::fprintf(stderr, "\n");
+  std::printf(
+      "== Figure 3: messages per processor per M compute cycles ==\n");
+  t.print();
+  harness::maybe_write_csv(t, opt.csv_dir, "fig03");
+  return 0;
+}

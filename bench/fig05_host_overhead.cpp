@@ -1,0 +1,15 @@
+// Figure 5: effects of host overhead on application performance.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+  harness::Sweep sweep(opt.scale);
+  bench::run_figure(
+      "fig05", "overhead", {0, 250, 500, 1000, 2000},
+      [](SimConfig& c, double v) {
+        c.comm.host_overhead = static_cast<Cycles>(v);
+      },
+      opt, sweep);
+  return 0;
+}

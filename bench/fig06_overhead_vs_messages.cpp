@@ -1,0 +1,23 @@
+// Figure 6: relation between the slowdown due to host overhead and the
+// number of messages sent (both normalized to their largest value).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+  harness::Sweep sweep(opt.scale);
+  auto sweeps = bench::run_figure(
+      "fig06_sweep", "overhead", {0, 2000},
+      [](SimConfig& c, double v) {
+        c.comm.host_overhead = static_cast<Cycles>(v);
+      },
+      opt, sweep);
+  bench::print_relation(
+      "fig06", "host-overhead slowdown", "messages/proc/Mcycle", sweeps,
+      [](const harness::AppRun& r) {
+        return r.result.per_proc_per_mcycles(
+            r.result.stats.counters().messages_sent);
+      },
+      opt);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 7: effects of network interface occupancy on performance (HLRC).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+  harness::Sweep sweep(opt.scale);
+  bench::run_figure(
+      "fig07", "occupancy", {0, 250, 500, 1000, 2000, 4000},
+      [](SimConfig& c, double v) {
+        c.comm.ni_occupancy = static_cast<Cycles>(v);
+      },
+      opt, sweep);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 8: effects of I/O bus bandwidth (node-to-network bandwidth) on
+// application performance.
+#include "bench_common.hpp"
+#include "harness/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+  harness::Sweep sweep(opt.scale);
+  bench::run_figure(
+      "fig08", "MB/MHz", {2.0, 1.0, 0.5, 0.25, 0.125},
+      [](SimConfig& c, double v) { c.comm.io_bus_mb_per_mhz = v; }, opt, sweep,
+      [](double v) { return harness::fmt(v, 3); });
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 9: relation between the slowdown due to I/O bus bandwidth and the
+// number of bytes transferred (both normalized).
+#include "bench_common.hpp"
+#include "harness/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+  harness::Sweep sweep(opt.scale);
+  auto sweeps = bench::run_figure(
+      "fig09_sweep", "MB/MHz", {2.0, 0.125},
+      [](SimConfig& c, double v) { c.comm.io_bus_mb_per_mhz = v; }, opt, sweep,
+      [](double v) { return harness::fmt(v, 3); });
+  bench::print_relation(
+      "fig09", "I/O-bandwidth slowdown", "bytes/proc/Mcycle", sweeps,
+      [](const harness::AppRun& r) {
+        return r.result.per_proc_per_mcycles(
+            r.result.stats.counters().bytes_sent);
+      },
+      opt);
+  return 0;
+}

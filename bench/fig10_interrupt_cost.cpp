@@ -1,0 +1,16 @@
+// Figure 10: effects of interrupt cost on application performance (the
+// paper's dominant parameter).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+  harness::Sweep sweep(opt.scale);
+  bench::run_figure(
+      "fig10", "intr", {0, 250, 500, 1000, 2500, 5000},
+      [](SimConfig& c, double v) {
+        c.comm.interrupt_cost = static_cast<Cycles>(v);
+      },
+      opt, sweep);
+  return 0;
+}

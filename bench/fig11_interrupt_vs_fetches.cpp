@@ -1,0 +1,25 @@
+// Figure 11: relation between the slowdown due to interrupt cost and the
+// number of page fetches plus remote lock acquires (both normalized).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+  harness::Sweep sweep(opt.scale);
+  auto sweeps = bench::run_figure(
+      "fig11_sweep", "intr", {0, 5000},
+      [](SimConfig& c, double v) {
+        c.comm.interrupt_cost = static_cast<Cycles>(v);
+      },
+      opt, sweep);
+  bench::print_relation(
+      "fig11", "interrupt-cost slowdown", "fetches+remote-locks/proc/Mcycle",
+      sweeps,
+      [](const harness::AppRun& r) {
+        const auto& c = r.result.stats.counters();
+        return r.result.per_proc_per_mcycles(c.page_fetches +
+                                             c.remote_lock_acquires);
+      },
+      opt);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 12: effects of network interface occupancy under AURC (automatic
+// update) — far more sensitive than HLRC because updates travel as many
+// fine-grained packets.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+  harness::Sweep sweep(opt.scale);
+  bench::run_figure(
+      "fig12", "occupancy", {0, 250, 500, 1000, 2000, 4000},
+      [](SimConfig& c, double v) {
+        c.comm.protocol = Protocol::kAURC;
+        c.comm.ni_occupancy = static_cast<Cycles>(v);
+      },
+      opt, sweep);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 13: effects of page size (the coherence/transfer granularity) on
+// application performance.
+#include "bench_common.hpp"
+#include "harness/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+  harness::Sweep sweep(opt.scale);
+  bench::run_figure(
+      "fig13", "page", {1024, 2048, 4096, 8192, 16384},
+      [](SimConfig& c, double v) {
+        c.comm.page_bytes = static_cast<std::uint32_t>(v);
+      },
+      opt, sweep, [](double v) {
+        return std::to_string(static_cast<int>(v) / 1024) + "K";
+      });
+  return 0;
+}

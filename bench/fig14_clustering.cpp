@@ -1,0 +1,17 @@
+// Figure 14 (paper's clustering figure): effects of the degree of
+// clustering — processors per node, 16 processors total — on performance,
+// keeping the memory subsystem fixed (the paper's stated assumption).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+  harness::Sweep sweep(opt.scale);
+  bench::run_figure(
+      "fig14", "procs/node", {1, 2, 4, 8},
+      [](SimConfig& c, double v) {
+        c.comm.procs_per_node = static_cast<int>(v);
+      },
+      opt, sweep);
+  return 0;
+}

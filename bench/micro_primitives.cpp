@@ -1,0 +1,89 @@
+// google-benchmark microbenchmarks of the simulator's hot primitives: event
+// queue throughput, coroutine scheduling, the cache model, the diff engine
+// and a small end-to-end simulation.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/registry.hpp"
+#include "core/runner.hpp"
+#include "engine/event_queue.hpp"
+#include "engine/simulator.hpp"
+#include "engine/task.hpp"
+#include "memsys/cache.hpp"
+#include "svm/diff.hpp"
+
+namespace {
+
+using namespace svmsim;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    engine::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule_at(static_cast<Cycles>(i), [&sink] { ++sink; });
+    }
+    q.run_until_idle();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_CoroutineDelayChain(benchmark::State& state) {
+  for (auto _ : state) {
+    engine::Simulator sim;
+    engine::spawn([](engine::Simulator& s) -> engine::Task<void> {
+      for (int i = 0; i < 1000; ++i) co_await s.delay(1);
+    }(sim));
+    sim.run_until_idle();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineDelayChain);
+
+void BM_CacheLookup(benchmark::State& state) {
+  ArchParams arch;
+  memsys::Cache cache(arch.l2);
+  for (std::uint64_t i = 0; i < 4096; ++i) cache.fill(i * 64, false);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(addr));
+    addr = (addr + 64) % (4096 * 64);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookup);
+
+void BM_DiffCompute(benchmark::State& state) {
+  const std::size_t page = static_cast<std::size_t>(state.range(0));
+  apps::Rng rng(1);
+  std::vector<std::byte> twin(page);
+  for (auto& b : twin) b = static_cast<std::byte>(rng.next());
+  auto cur = twin;
+  for (std::size_t i = 0; i < page; i += 64) cur[i] ^= std::byte{1};
+  for (auto _ : state) {
+    auto d = svm::compute_diff(0, cur, twin);
+    benchmark::DoNotOptimize(d.runs.size());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<long>(page));
+}
+BENCHMARK(BM_DiffCompute)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_EndToEndTinyFft(benchmark::State& state) {
+  for (auto _ : state) {
+    SimConfig cfg;
+    cfg.comm = CommParams::achievable();
+    auto app = apps::make_app("fft", apps::Scale::kTiny);
+    auto r = run(*app, cfg);
+    benchmark::DoNotOptimize(r.time);
+  }
+}
+BENCHMARK(BM_EndToEndTinyFft)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

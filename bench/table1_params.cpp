@@ -1,0 +1,33 @@
+// Table 1: ranges, achievable and best values of the communication
+// parameters under consideration.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+
+  harness::Table t({"Parameter", "Range", "Achievable", "Best"});
+  t.add_row({"Host overhead (cycles)", "0 - 2000", "500", "0"});
+  t.add_row({"I/O bus bandwidth (MB/s per MHz)", "0.125 - 2.0", "0.5", "2.0"});
+  t.add_row({"NI occupancy (cycles/packet)", "0 - 4000", "1000", "0"});
+  t.add_row({"Interrupt cost (cycles, each way)", "0 - 5000", "500", "0"});
+  t.add_row({"Page size (bytes)", "1K - 16K", "4096", "-"});
+  t.add_row({"Processors per node (16 total)", "1 - 8", "4", "-"});
+  std::printf("== Table 1: communication parameter ranges ==\n");
+  t.print();
+  harness::maybe_write_csv(t, opt.csv_dir, "table1");
+
+  const CommParams ach = CommParams::achievable();
+  std::printf(
+      "\nAt a nominal 200 MHz processor the achievable point is: host "
+      "overhead %llu cycles, I/O bus %.0f MB/s, NI occupancy %llu cycles "
+      "(%.1f us), null interrupt %llu cycles.\n",
+      static_cast<unsigned long long>(ach.host_overhead),
+      ach.io_bus_mb_per_mhz * 200.0,
+      static_cast<unsigned long long>(ach.ni_occupancy),
+      static_cast<double>(ach.ni_occupancy) / 200.0,
+      static_cast<unsigned long long>(2 * ach.interrupt_cost));
+  return 0;
+}

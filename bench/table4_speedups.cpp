@@ -1,0 +1,27 @@
+// Table 4: best, achievable and ideal speedups for each application.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  auto opt = bench::Options::parse(argc, argv);
+  harness::Sweep sweep(opt.scale);
+
+  harness::Table t({"application", "best", "achievable", "ideal"});
+  for (const auto& app : opt.app_names) {
+    SimConfig best_cfg = bench::base_config();
+    best_cfg.comm = CommParams::best();
+    auto best = sweep.run_point(app, best_cfg, 0);
+    auto ach = sweep.run_point(app, bench::base_config(), 1);
+    t.add_row({app, harness::fmt(best.speedup()), harness::fmt(ach.speedup()),
+               harness::fmt(ach.ideal_speedup())});
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
+  }
+  std::fprintf(stderr, "\n");
+  std::printf("== Table 4: best / achievable / ideal speedups ==\n");
+  t.print();
+  harness::maybe_write_csv(t, opt.csv_dir, "table4");
+  return 0;
+}

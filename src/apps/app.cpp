@@ -1,0 +1,17 @@
+#include "apps/app.hpp"
+
+namespace svmsim::apps {
+
+std::string to_string(Scale s) {
+  switch (s) {
+    case Scale::kTiny:
+      return "tiny";
+    case Scale::kSmall:
+      return "small";
+    case Scale::kLarge:
+      return "large";
+  }
+  return "?";
+}
+
+}  // namespace svmsim::apps

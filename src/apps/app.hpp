@@ -1,0 +1,167 @@
+// Application-facing shared-memory API and the Application base class.
+//
+// Shm is the per-processor view of the shared virtual address space; every
+// access goes through the node's SVM protocol agent, so application kernels
+// read and write *real data* with full protocol and timing behaviour.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "core/runner.hpp"
+#include "engine/task.hpp"
+#include "svm/address_space.hpp"
+
+namespace svmsim::apps {
+
+using svm::Distribution;
+using svm::GlobalAddr;
+
+class Shm {
+ public:
+  Shm(Machine& m, ProcId pid)
+      : machine_(&m),
+        proc_(&m.proc(pid)),
+        agent_(&m.agent_of(pid)),
+        pid_(pid),
+        nprocs_(m.total_procs()) {}
+
+  [[nodiscard]] int pid() const noexcept { return pid_; }
+  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
+  [[nodiscard]] Machine& machine() noexcept { return *machine_; }
+  [[nodiscard]] Processor& proc() noexcept { return *proc_; }
+
+  /// Model `c` cycles of private computation (private-data accesses
+  /// included, as in the paper's compute time).
+  void compute(Cycles c) { proc_->charge(TimeCat::kCompute, c); }
+
+  template <typename T>
+  engine::Task<T> read(GlobalAddr a) {
+    T v{};
+    co_await agent_->read(*proc_, a, &v, sizeof(T));
+    co_return v;
+  }
+
+  template <typename T>
+  engine::Task<void> write(GlobalAddr a, T v) {
+    co_await agent_->write(*proc_, a, &v, sizeof(T));
+  }
+
+  engine::Task<void> read_block(GlobalAddr a, void* dst,
+                                std::uint64_t bytes) {
+    return agent_->read(*proc_, a, dst, bytes);
+  }
+  engine::Task<void> write_block(GlobalAddr a, const void* src,
+                                 std::uint64_t bytes) {
+    return agent_->write(*proc_, a, src, bytes);
+  }
+
+  engine::Task<void> lock(int id) {
+    return agent_->acquire_lock(*proc_, id % Machine::kMaxLocks);
+  }
+  engine::Task<void> unlock(int id) {
+    return agent_->release_lock(*proc_, id % Machine::kMaxLocks);
+  }
+  engine::Task<void> barrier() { return agent_->barrier(*proc_); }
+
+ private:
+  Machine* machine_;
+  Processor* proc_;
+  svm::SvmAgent* agent_;
+  int pid_;
+  int nprocs_;
+};
+
+/// A typed window over a shared allocation.
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+  SharedArray(GlobalAddr base, std::uint64_t count)
+      : base_(base), count_(count) {}
+
+  /// Allocate `count` elements with distribution `d` in machine `m`.
+  static SharedArray alloc(Machine& m, std::uint64_t count, Distribution d) {
+    return SharedArray(m.alloc(count * sizeof(T), d), count);
+  }
+
+  [[nodiscard]] GlobalAddr addr(std::uint64_t i = 0) const {
+    return base_ + i * sizeof(T);
+  }
+  [[nodiscard]] std::uint64_t size() const noexcept { return count_; }
+
+  engine::Task<T> get(Shm& shm, std::uint64_t i) const {
+    return shm.read<T>(addr(i));
+  }
+  engine::Task<void> put(Shm& shm, std::uint64_t i, T v) const {
+    return shm.write<T>(addr(i), v);
+  }
+  engine::Task<void> get_block(Shm& shm, std::uint64_t i, T* dst,
+                               std::uint64_t n) const {
+    return shm.read_block(addr(i), dst, n * sizeof(T));
+  }
+  engine::Task<void> put_block(Shm& shm, std::uint64_t i, const T* src,
+                               std::uint64_t n) const {
+    return shm.write_block(addr(i), src, n * sizeof(T));
+  }
+
+  // Untimed init/validation access.
+  void debug_put(Machine& m, std::uint64_t i, const T& v) const {
+    m.debug_write(addr(i), &v, sizeof(T));
+  }
+  [[nodiscard]] T debug_get(Machine& m, std::uint64_t i) const {
+    T v{};
+    m.debug_read(addr(i), &v, sizeof(T));
+    return v;
+  }
+
+ private:
+  GlobalAddr base_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Problem-size scaling for the suite: kTiny for unit tests, kSmall for the
+/// default bench runs, kLarge for closer-to-paper inputs.
+enum class Scale { kTiny, kSmall, kLarge };
+
+[[nodiscard]] std::string to_string(Scale s);
+
+class Application : public Workload {
+ public:
+  explicit Application(Scale scale) : scale_(scale) {}
+  [[nodiscard]] Scale scale() const noexcept { return scale_; }
+
+ protected:
+  Scale scale_;
+};
+
+/// Deterministic 64-bit RNG (splitmix64) for workload generation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : s_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (s_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(next() % n);
+  }
+
+ private:
+  std::uint64_t s_;
+};
+
+}  // namespace svmsim::apps

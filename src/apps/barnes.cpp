@@ -1,0 +1,549 @@
+// Barnes: Barnes-Hut N-body, in two tree-construction variants (paper §4.2):
+//
+//  * barnes (rebuild) — the SPLASH-2 code: processors insert their bodies
+//    into the shared octree concurrently, locking each cell they modify.
+//    Fine-grained locks plus page faults inside those critical sections make
+//    this the most communication-intensive application in the suite.
+//  * barnes-space — the SVM-restructured version: the top two tree levels
+//    are preallocated and the 64 level-2 subspaces are assigned to
+//    processors; each processor builds the subtrees of its subspaces from
+//    its private cell-pool slice with no locking at all, and partial trees
+//    meet at the static top cells.
+//
+// Center-of-mass computation proceeds level by level in parallel (barrier
+// between levels), and the force pass traverses the shared read-mostly tree
+// with the standard opening criterion.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "apps/factories.hpp"
+
+namespace svmsim::apps {
+
+namespace {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+};
+
+inline Vec3 operator-(const Vec3& a, const Vec3& b) {
+  return {a.x - b.x, a.y - b.y, a.z - b.z};
+}
+inline Vec3& operator+=(Vec3& a, const Vec3& b) {
+  a.x += b.x;
+  a.y += b.y;
+  a.z += b.z;
+  return a;
+}
+inline Vec3 operator*(const Vec3& a, double s) {
+  return {a.x * s, a.y * s, a.z * s};
+}
+
+struct CellGeom {
+  double cx = 0, cy = 0, cz = 0, half = 0;
+};
+struct CellCom {
+  double x = 0, y = 0, z = 0, m = 0;
+};
+
+/// Gravitational force on a body at `p` (unit G, softened).
+inline Vec3 gravity(const Vec3& p, const Vec3& src, double mass) {
+  const Vec3 d = src - p;
+  const double r2 = d.x * d.x + d.y * d.y + d.z * d.z + 1e-4;
+  const double inv = 1.0 / (r2 * std::sqrt(r2));
+  return d * (mass * inv);
+}
+
+constexpr std::int32_t kEmpty = -1;
+inline std::int32_t enc_body(std::int32_t b) { return -(b + 2); }
+inline bool is_body(std::int32_t v) { return v <= -2; }
+inline std::int32_t dec_body(std::int32_t v) { return -v - 2; }
+
+class BarnesApp final : public Application {
+ public:
+  BarnesApp(Scale scale, bool space) : Application(scale), space_(space) {
+    switch (scale) {
+      case Scale::kTiny:
+        n_ = 128;
+        steps_ = 1;
+        break;
+      case Scale::kSmall:
+        n_ = 1024;
+        steps_ = 2;
+        break;
+      case Scale::kLarge:
+        n_ = 4096;
+        steps_ = 2;
+        break;
+    }
+    max_cells_ = static_cast<int>(4 * n_) + 256;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return space_ ? "barnes-space" : "barnes";
+  }
+
+  void setup(Machine& mach) override {
+    P_ = mach.total_procs();
+    bpos_ = SharedArray<Vec3>::alloc(mach, n_, Distribution::block());
+    bvel_ = SharedArray<Vec3>::alloc(mach, n_, Distribution::block());
+    bfrc_ = SharedArray<Vec3>::alloc(mach, n_, Distribution::block());
+    bmass_ = SharedArray<double>::alloc(mach, n_, Distribution::block());
+    cgeom_ = SharedArray<CellGeom>::alloc(
+        mach, static_cast<std::size_t>(max_cells_), Distribution::cyclic());
+    cchild_ = SharedArray<std::int32_t>::alloc(
+        mach, static_cast<std::size_t>(max_cells_) * 8, Distribution::cyclic());
+    ccom_ = SharedArray<CellCom>::alloc(
+        mach, static_cast<std::size_t>(max_cells_), Distribution::cyclic());
+    alloc_ = SharedArray<std::int32_t>::alloc(mach, 16, Distribution::fixed(0));
+    // Level lists for the parallel center-of-mass pass.
+    levels_ = SharedArray<std::int32_t>::alloc(
+        mach, static_cast<std::size_t>(max_cells_), Distribution::cyclic());
+    level_start_ =
+        SharedArray<std::int32_t>::alloc(mach, kMaxDepth + 2,
+                                         Distribution::fixed(0));
+
+    Rng rng(space_ ? 0xBA12u : 0xBA11u);
+    init_pos_.resize(n_);
+    init_vel_.resize(n_);
+    mass_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      // Plummer-ish clustered distribution inside the box.
+      const double r = 0.35 * kBox * std::pow(rng.uniform(), 1.5);
+      const double th = std::acos(rng.uniform(-1, 1));
+      const double ph = rng.uniform(0, 2 * std::numbers::pi);
+      init_pos_[i] = {0.5 * kBox + r * std::sin(th) * std::cos(ph),
+                      0.5 * kBox + r * std::sin(th) * std::sin(ph),
+                      0.5 * kBox + r * std::cos(th)};
+      init_vel_[i] = {rng.uniform(-0.01, 0.01), rng.uniform(-0.01, 0.01),
+                      rng.uniform(-0.01, 0.01)};
+      mass_[i] = 1.0 / static_cast<double>(n_);
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      bpos_.debug_put(mach, i, init_pos_[i]);
+      bvel_.debug_put(mach, i, init_vel_[i]);
+      bfrc_.debug_put(mach, i, Vec3{});
+      bmass_.debug_put(mach, i, mass_[i]);
+    }
+  }
+
+  engine::Task<void> body(Machine& mach, ProcId pid) override {
+    Shm shm(mach, pid);
+    const std::size_t b0 = n_ * static_cast<std::size_t>(pid) / P_;
+    const std::size_t b1 = n_ * static_cast<std::size_t>(pid + 1) / P_;
+
+    for (int step = 0; step < steps_; ++step) {
+      // --- Reset the tree (processor 0) ---
+      if (pid == 0) {
+        co_await reset_tree(shm);
+      }
+      co_await shm.barrier();
+
+      // --- Build ---
+      if (space_) {
+        co_await build_space(shm, pid);
+      } else {
+        co_await build_rebuild(shm, pid, b0, b1);
+      }
+      co_await shm.barrier();
+
+      // --- Level lists (processor 0 walks the finished tree) ---
+      if (pid == 0) {
+        co_await make_levels(shm);
+      }
+      co_await shm.barrier();
+
+      // --- Center of mass, deepest level first ---
+      co_await compute_com(shm, pid);
+
+      // --- Forces for own bodies ---
+      co_await compute_forces(shm, pid, b0, b1);
+      co_await shm.barrier();
+
+      // --- Integrate own bodies ---
+      for (std::size_t i = b0; i < b1; ++i) {
+        const Vec3 f = co_await bfrc_.get(shm, i);
+        Vec3 v = co_await bvel_.get(shm, i);
+        v += f * kDt;
+        Vec3 x = co_await bpos_.get(shm, i);
+        x += v * kDt;
+        x.x = std::clamp(x.x, 0.0, kBox - 1e-9);
+        x.y = std::clamp(x.y, 0.0, kBox - 1e-9);
+        x.z = std::clamp(x.z, 0.0, kBox - 1e-9);
+        co_await bvel_.put(shm, i, v);
+        co_await bpos_.put(shm, i, x);
+        shm.compute(kWorkScale * 18);
+      }
+      co_await shm.barrier();
+    }
+  }
+
+  bool validate(Machine& mach) override {
+    // 1. Mass conservation at the root.
+    const CellCom root = ccom_.debug_get(mach, 0);
+    double total = 0;
+    for (double m : mass_) total += m;
+    if (std::abs(root.m - total) > 1e-9 * total) return false;
+
+    // 2. Forces from the last step vs direct summation at the positions
+    //    they were computed from (pre-integration: x_prev = x - v*dt).
+    std::vector<Vec3> prev(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      const Vec3 x = bpos_.debug_get(mach, i);
+      const Vec3 v = bvel_.debug_get(mach, i);
+      prev[i] = {x.x - v.x * kDt, x.y - v.y * kDt, x.z - v.z * kDt};
+    }
+    const std::size_t sample = std::min<std::size_t>(n_, 64);
+    std::vector<double> rel;
+    rel.reserve(sample);
+    for (std::size_t s = 0; s < sample; ++s) {
+      const std::size_t i = s * (n_ / sample);
+      Vec3 direct{};
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (j != i) direct += gravity(prev[i], prev[j], mass_[j]);
+      }
+      const Vec3 got = bfrc_.debug_get(mach, i);
+      const double dn = std::sqrt(direct.x * direct.x + direct.y * direct.y +
+                                  direct.z * direct.z);
+      const Vec3 diff = got - direct;
+      const double en =
+          std::sqrt(diff.x * diff.x + diff.y * diff.y + diff.z * diff.z);
+      rel.push_back(en / (dn + 1e-12));
+    }
+    std::sort(rel.begin(), rel.end());
+    // Barnes-Hut with theta=0.6: median error well under a few percent.
+    return rel[rel.size() / 2] < 0.05;
+  }
+
+ private:
+  /// Per-element work multiplier (see DESIGN.md: folds the real code's
+  /// private-memory instruction stream into the charged compute).
+  static constexpr Cycles kWorkScale = 6;
+  static constexpr double kBox = 8.0;
+  static constexpr double kDt = 0.01;
+  static constexpr double kTheta = 0.6;
+  static constexpr int kMaxDepth = 40;
+  static constexpr int kCellLockBase = 2048;
+  static constexpr int kCellLockCount = 1024;
+  static constexpr int kPoolLock = 2047;
+
+  [[nodiscard]] int cell_lock(std::int32_t cell) const {
+    return kCellLockBase + cell % kCellLockCount;
+  }
+  [[nodiscard]] static int octant(const CellGeom& g, const Vec3& p) {
+    return (p.x >= g.cx ? 1 : 0) | (p.y >= g.cy ? 2 : 0) |
+           (p.z >= g.cz ? 4 : 0);
+  }
+  [[nodiscard]] static CellGeom suboctant(const CellGeom& g, int q) {
+    const double h = g.half / 2;
+    return {g.cx + ((q & 1) ? h : -h), g.cy + ((q & 2) ? h : -h),
+            g.cz + ((q & 4) ? h : -h), h};
+  }
+
+  engine::Task<void> reset_tree(Shm& shm) {
+    // Static top cells: root only (rebuild) or root + 8 + 64 (space).
+    const std::int32_t kStatic = space_ ? 73 : 1;
+    const CellGeom root{kBox / 2, kBox / 2, kBox / 2, kBox / 2};
+    co_await cgeom_.put(shm, 0, root);
+    std::vector<std::int32_t> empty(8, kEmpty);
+    co_await cchild_.put_block(shm, 0, empty.data(), 8);
+    if (space_) {
+      for (int q = 0; q < 8; ++q) {
+        const std::int32_t l1 = 1 + q;
+        co_await cgeom_.put(shm, static_cast<std::size_t>(l1),
+                            suboctant(root, q));
+        co_await cchild_.put(shm, static_cast<std::size_t>(q), l1);
+      }
+      for (int q1 = 0; q1 < 8; ++q1) {
+        const std::int32_t l1 = 1 + q1;
+        const CellGeom g1 = suboctant(root, q1);
+        for (int q2 = 0; q2 < 8; ++q2) {
+          const std::int32_t l2 = 9 + q1 * 8 + q2;
+          co_await cgeom_.put(shm, static_cast<std::size_t>(l2),
+                              suboctant(g1, q2));
+          co_await cchild_.put(
+              shm, static_cast<std::size_t>(l1) * 8 + q2, l2);
+          co_await cchild_.put_block(
+              shm, static_cast<std::size_t>(l2) * 8, empty.data(), 8);
+        }
+        co_await cchild_.put_block(shm, static_cast<std::size_t>(l1) * 8,
+                                   empty.data(), 8);
+      }
+      // Re-link after wiping: children of root and level-1 cells.
+      for (int q = 0; q < 8; ++q) {
+        co_await cchild_.put(shm, static_cast<std::size_t>(q),
+                             static_cast<std::int32_t>(1 + q));
+      }
+      for (int q1 = 0; q1 < 8; ++q1) {
+        for (int q2 = 0; q2 < 8; ++q2) {
+          co_await cchild_.put(shm, static_cast<std::size_t>(1 + q1) * 8 + q2,
+                               static_cast<std::int32_t>(9 + q1 * 8 + q2));
+        }
+      }
+    }
+    co_await alloc_.put(shm, 0, kStatic);
+    shm.compute(kWorkScale * 200);
+  }
+
+  /// Rebuild variant: concurrent insertion with per-cell locks. Cells come
+  /// from per-processor pool slices (as in SPLASH-2), so only the tree
+  /// cells themselves are locked.
+  engine::Task<void> build_rebuild(Shm& shm, ProcId pid, std::size_t b0,
+                                   std::size_t b1) {
+    const std::int32_t kStatic = 1;
+    const std::int32_t pool1 =
+        kStatic +
+        static_cast<std::int32_t>((max_cells_ - kStatic) * (pid + 1) / P_);
+    std::int32_t next =
+        kStatic + static_cast<std::int32_t>((max_cells_ - kStatic) * pid / P_);
+    for (std::size_t i = b0; i < b1; ++i) {
+      const Vec3 p = co_await bpos_.get(shm, i);
+      std::int32_t c = 0;
+      for (int depth = 0; depth < kMaxDepth; ++depth) {
+        const CellGeom g = co_await cgeom_.get(shm, static_cast<std::size_t>(c));
+        const int q = octant(g, p);
+        co_await shm.lock(cell_lock(c));
+        const std::int32_t ch =
+            co_await cchild_.get(shm, static_cast<std::size_t>(c) * 8 + q);
+        if (ch == kEmpty) {
+          co_await cchild_.put(shm, static_cast<std::size_t>(c) * 8 + q,
+                               enc_body(static_cast<std::int32_t>(i)));
+          co_await shm.unlock(cell_lock(c));
+          break;
+        }
+        if (ch >= 0) {
+          co_await shm.unlock(cell_lock(c));
+          c = ch;
+          continue;
+        }
+        // Occupied by a body: split, using the private pool slice.
+        const std::int32_t other = dec_body(ch);
+        const std::int32_t nc = next++;
+        assert(nc < pool1);
+        (void)pool1;
+        const CellGeom ng = suboctant(g, q);
+        co_await cgeom_.put(shm, static_cast<std::size_t>(nc), ng);
+        std::vector<std::int32_t> empty(8, kEmpty);
+        const Vec3 op = co_await bpos_.get(shm, static_cast<std::size_t>(other));
+        empty[static_cast<std::size_t>(octant(ng, op))] = ch;
+        co_await cchild_.put_block(shm, static_cast<std::size_t>(nc) * 8,
+                                   empty.data(), 8);
+        co_await cchild_.put(shm, static_cast<std::size_t>(c) * 8 + q, nc);
+        co_await shm.unlock(cell_lock(c));
+        c = nc;
+        shm.compute(kWorkScale * 40);
+      }
+      shm.compute(kWorkScale * 30);
+    }
+  }
+
+  /// Space variant: every processor owns disjoint level-2 subspaces and
+  /// builds their subtrees from a private cell-pool slice, lock-free.
+  engine::Task<void> build_space(Shm& shm, ProcId pid) {
+    // Private pool slice.
+    const std::int32_t pool0 =
+        73 + static_cast<std::int32_t>((max_cells_ - 73) * pid / P_);
+    const std::int32_t pool1 =
+        73 + static_cast<std::int32_t>((max_cells_ - 73) * (pid + 1) / P_);
+    std::int32_t next = pool0;
+
+    std::vector<Vec3> positions(n_);
+    co_await bpos_.get_block(shm, 0, positions.data(), n_);
+    const CellGeom root{kBox / 2, kBox / 2, kBox / 2, kBox / 2};
+
+    for (std::size_t i = 0; i < n_; ++i) {
+      // Which level-2 subspace does this body fall into?
+      const int q1 = octant(root, positions[i]);
+      const CellGeom g1 = suboctant(root, q1);
+      const int q2 = octant(g1, positions[i]);
+      const int sub = q1 * 8 + q2;
+      if (sub % P_ != pid) continue;  // not my subspace
+      shm.compute(kWorkScale * 12);
+
+      std::int32_t c = 9 + sub;
+      CellGeom g = suboctant(g1, q2);
+      for (int depth = 0; depth < kMaxDepth; ++depth) {
+        const int q = octant(g, positions[i]);
+        const std::int32_t ch =
+            co_await cchild_.get(shm, static_cast<std::size_t>(c) * 8 + q);
+        if (ch == kEmpty) {
+          co_await cchild_.put(shm, static_cast<std::size_t>(c) * 8 + q,
+                               enc_body(static_cast<std::int32_t>(i)));
+          break;
+        }
+        if (ch >= 0) {
+          c = ch;
+          g = co_await cgeom_.get(shm, static_cast<std::size_t>(c));
+          continue;
+        }
+        const std::int32_t other = dec_body(ch);
+        const std::int32_t nc = next++;
+        assert(nc < pool1);
+        const CellGeom ng = suboctant(g, q);
+        co_await cgeom_.put(shm, static_cast<std::size_t>(nc), ng);
+        std::vector<std::int32_t> empty(8, kEmpty);
+        empty[static_cast<std::size_t>(
+            octant(ng, positions[static_cast<std::size_t>(other)]))] = ch;
+        co_await cchild_.put_block(shm, static_cast<std::size_t>(nc) * 8,
+                                   empty.data(), 8);
+        co_await cchild_.put(shm, static_cast<std::size_t>(c) * 8 + q, nc);
+        c = nc;
+        g = ng;
+        shm.compute(kWorkScale * 40);
+      }
+      shm.compute(kWorkScale * 30);
+    }
+    (void)pool1;
+  }
+
+  /// Processor 0 BFS-walks the finished tree into per-level cell lists.
+  engine::Task<void> make_levels(Shm& shm) {
+    std::vector<std::int32_t> order;
+    std::vector<std::int32_t> starts{0};
+    std::vector<std::int32_t> frontier{0};
+    while (!frontier.empty()) {
+      std::vector<std::int32_t> next_frontier;
+      for (std::int32_t c : frontier) {
+        order.push_back(c);
+        std::int32_t ch[8];
+        co_await cchild_.get_block(shm, static_cast<std::size_t>(c) * 8, ch, 8);
+        for (int q = 0; q < 8; ++q) {
+          if (ch[q] >= 0) next_frontier.push_back(ch[q]);
+        }
+        shm.compute(kWorkScale * 16);
+      }
+      starts.push_back(static_cast<std::int32_t>(order.size()));
+      frontier = std::move(next_frontier);
+    }
+    co_await levels_.put_block(shm, 0, order.data(), order.size());
+    // level_start_[0] = number of levels; then the boundaries.
+    const auto nlev = static_cast<std::int32_t>(starts.size() - 1);
+    co_await level_start_.put(shm, 0, nlev);
+    assert(nlev <= kMaxDepth);
+    for (std::size_t l = 0; l < starts.size(); ++l) {
+      co_await level_start_.put(shm, 1 + l, starts[l]);
+    }
+  }
+
+  engine::Task<void> compute_com(Shm& shm, ProcId pid) {
+    const std::int32_t nlev = co_await level_start_.get(shm, 0);
+    for (std::int32_t l = nlev - 1; l >= 0; --l) {
+      const std::int32_t s =
+          co_await level_start_.get(shm, 1 + static_cast<std::size_t>(l));
+      const std::int32_t e =
+          co_await level_start_.get(shm, 2 + static_cast<std::size_t>(l));
+      for (std::int32_t k = s + pid; k < e; k += P_) {
+        const std::int32_t c =
+            co_await levels_.get(shm, static_cast<std::size_t>(k));
+        std::int32_t ch[8];
+        co_await cchild_.get_block(shm, static_cast<std::size_t>(c) * 8, ch, 8);
+        CellCom acc;
+        for (int q = 0; q < 8; ++q) {
+          if (ch[q] == kEmpty) continue;
+          if (is_body(ch[q])) {
+            const auto b = static_cast<std::size_t>(dec_body(ch[q]));
+            const Vec3 p = co_await bpos_.get(shm, b);
+            const double m = co_await bmass_.get(shm, b);
+            acc.x += m * p.x;
+            acc.y += m * p.y;
+            acc.z += m * p.z;
+            acc.m += m;
+          } else {
+            const CellCom sub =
+                co_await ccom_.get(shm, static_cast<std::size_t>(ch[q]));
+            acc.x += sub.m * sub.x;
+            acc.y += sub.m * sub.y;
+            acc.z += sub.m * sub.z;
+            acc.m += sub.m;
+          }
+        }
+        if (acc.m > 0) {
+          acc.x /= acc.m;
+          acc.y /= acc.m;
+          acc.z /= acc.m;
+        }
+        co_await ccom_.put(shm, static_cast<std::size_t>(c), acc);
+        shm.compute(kWorkScale * 60);
+      }
+      co_await shm.barrier();
+    }
+  }
+
+  engine::Task<void> compute_forces(Shm& shm, ProcId /*pid*/, std::size_t b0,
+                                    std::size_t b1) {
+    std::vector<std::int32_t> stack;
+    for (std::size_t i = b0; i < b1; ++i) {
+      const Vec3 p = co_await bpos_.get(shm, i);
+      Vec3 f{};
+      stack.assign(1, 0);
+      while (!stack.empty()) {
+        const std::int32_t c = stack.back();
+        stack.pop_back();
+        const CellGeom g =
+            co_await cgeom_.get(shm, static_cast<std::size_t>(c));
+        const CellCom com =
+            co_await ccom_.get(shm, static_cast<std::size_t>(c));
+        if (com.m <= 0) continue;
+        const Vec3 d = Vec3{com.x, com.y, com.z} - p;
+        const double dist =
+            std::sqrt(d.x * d.x + d.y * d.y + d.z * d.z) + 1e-12;
+        if (2 * g.half / dist < kTheta) {
+          f += gravity(p, {com.x, com.y, com.z}, com.m);
+          shm.compute(kWorkScale * 20);
+          continue;
+        }
+        std::int32_t ch[8];
+        co_await cchild_.get_block(shm, static_cast<std::size_t>(c) * 8, ch, 8);
+        for (int q = 0; q < 8; ++q) {
+          if (ch[q] == kEmpty) continue;
+          if (is_body(ch[q])) {
+            const auto b = static_cast<std::size_t>(dec_body(ch[q]));
+            if (b == i) continue;
+            const Vec3 bp = co_await bpos_.get(shm, b);
+            const double bm = co_await bmass_.get(shm, b);
+            f += gravity(p, bp, bm);
+            shm.compute(kWorkScale * 20);
+          } else {
+            stack.push_back(ch[q]);
+          }
+        }
+        shm.compute(kWorkScale * 16);
+      }
+      co_await bfrc_.put(shm, i, f);
+    }
+  }
+
+  bool space_;
+  std::size_t n_ = 128;
+  int steps_ = 1;
+  int P_ = 1;
+  int max_cells_ = 0;
+  SharedArray<Vec3> bpos_;
+  SharedArray<Vec3> bvel_;
+  SharedArray<Vec3> bfrc_;
+  SharedArray<double> bmass_;
+  SharedArray<CellGeom> cgeom_;
+  SharedArray<std::int32_t> cchild_;
+  SharedArray<CellCom> ccom_;
+  SharedArray<std::int32_t> alloc_;
+  SharedArray<std::int32_t> levels_;
+  SharedArray<std::int32_t> level_start_;
+  std::vector<Vec3> init_pos_;
+  std::vector<Vec3> init_vel_;
+  std::vector<double> mass_;
+};
+
+}  // namespace
+
+std::unique_ptr<Application> make_barnes_rebuild(Scale scale) {
+  return std::make_unique<BarnesApp>(scale, /*space=*/false);
+}
+
+std::unique_ptr<Application> make_barnes_space(Scale scale) {
+  return std::make_unique<BarnesApp>(scale, /*space=*/true);
+}
+
+}  // namespace svmsim::apps

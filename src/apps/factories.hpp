@@ -1,0 +1,21 @@
+// Per-application factory functions (one per TU).
+#pragma once
+
+#include <memory>
+
+#include "apps/app.hpp"
+
+namespace svmsim::apps {
+
+std::unique_ptr<Application> make_fft(Scale scale);
+std::unique_ptr<Application> make_lu(Scale scale);
+std::unique_ptr<Application> make_ocean(Scale scale);
+std::unique_ptr<Application> make_radix(Scale scale);
+std::unique_ptr<Application> make_water_nsquared(Scale scale);
+std::unique_ptr<Application> make_water_spatial(Scale scale);
+std::unique_ptr<Application> make_barnes_rebuild(Scale scale);
+std::unique_ptr<Application> make_barnes_space(Scale scale);
+std::unique_ptr<Application> make_raytrace(Scale scale);
+std::unique_ptr<Application> make_volrend(Scale scale);
+
+}  // namespace svmsim::apps

@@ -1,0 +1,432 @@
+// Ocean: the SPLASH-2 Ocean-contiguous solver structure — a red-black
+// Gauss-Seidel multigrid V-cycle on a regular 2D grid. Rows of every grid
+// level are block-partitioned across processors; each smoothing /
+// restriction / prolongation stage reads one halo row from each neighbour
+// and ends in a barrier. This gives the paper's "largely nearest-neighbor
+// and iterative on a regular grid" pattern, including the high
+// barrier-to-compute ratio of the coarse levels.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "apps/factories.hpp"
+
+namespace svmsim::apps {
+
+namespace {
+
+/// One multigrid level: grids are (n x n) points including the boundary,
+/// n = 2^k + 1.
+struct Level {
+  int n = 0;
+  double h2 = 0;  // grid spacing squared
+  SharedArray<double> u;  // solution
+  SharedArray<double> f;  // right-hand side
+  SharedArray<double> r;  // residual
+};
+
+class OceanApp final : public Application {
+ public:
+  explicit OceanApp(Scale scale) : Application(scale) {
+    switch (scale) {
+      case Scale::kTiny:
+        n_ = 33;
+        cycles_ = 2;
+        break;
+      case Scale::kSmall:
+        n_ = 129;
+        cycles_ = 3;
+        break;
+      case Scale::kLarge:
+        n_ = 257;
+        cycles_ = 4;
+        break;
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return "ocean"; }
+
+  void setup(Machine& mach) override {
+    P_ = mach.total_procs();
+    levels_.clear();
+    for (int n = n_; n >= 9; n = (n - 1) / 2 + 1) {
+      Level lv;
+      lv.n = n;
+      const double h = 1.0 / (n - 1);
+      lv.h2 = h * h;
+      const auto cells = static_cast<std::size_t>(n) * n;
+      lv.u = SharedArray<double>::alloc(mach, cells, Distribution::block());
+      lv.f = SharedArray<double>::alloc(mach, cells, Distribution::block());
+      lv.r = SharedArray<double>::alloc(mach, cells, Distribution::block());
+      levels_.push_back(lv);
+    }
+
+    // Problem: -laplace(u) = f with homogeneous Dirichlet boundary; a
+    // smooth forcing plus a vortex-like bump (stands in for Ocean's
+    // stream-function solves).
+    f0_.assign(static_cast<std::size_t>(n_) * n_, 0.0);
+    for (int i = 1; i < n_ - 1; ++i) {
+      for (int j = 1; j < n_ - 1; ++j) {
+        const double x = static_cast<double>(j) / (n_ - 1);
+        const double y = static_cast<double>(i) / (n_ - 1);
+        f0_[static_cast<std::size_t>(i) * n_ + j] =
+            std::sin(3.1 * x) * std::cos(2.3 * y) +
+            4.0 * std::exp(-40.0 * ((x - 0.3) * (x - 0.3) +
+                                    (y - 0.6) * (y - 0.6)));
+      }
+    }
+    for (std::size_t lv = 0; lv < levels_.size(); ++lv) {
+      const auto cells =
+          static_cast<std::size_t>(levels_[lv].n) * levels_[lv].n;
+      for (std::size_t i = 0; i < cells; ++i) {
+        levels_[lv].u.debug_put(mach, i, 0.0);
+        levels_[lv].r.debug_put(mach, i, 0.0);
+        levels_[lv].f.debug_put(mach, i, lv == 0 ? f0_[i] : 0.0);
+      }
+    }
+    expected_ = reference();
+  }
+
+  engine::Task<void> body(Machine& mach, ProcId pid) override {
+    Shm shm(mach, pid);
+    for (int c = 0; c < cycles_; ++c) {
+      co_await vcycle(shm, pid, 0);
+    }
+  }
+
+  bool validate(Machine& mach) override {
+    const std::size_t cells = static_cast<std::size_t>(n_) * n_;
+    for (std::size_t i = 0; i < cells; ++i) {
+      const double got = levels_[0].u.debug_get(mach, i);
+      const double want = expected_[i];
+      if (std::abs(got - want) > 1e-9 * (1.0 + std::abs(want))) return false;
+    }
+    return true;
+  }
+
+ private:
+  /// Per-element work multiplier (see DESIGN.md: folds the real code's
+  /// private-memory instruction stream into the charged compute).
+  static constexpr Cycles kWorkScale = 70;
+  static constexpr int kPreSmooth = 2;
+  static constexpr int kPostSmooth = 2;
+  static constexpr int kCoarseSmooth = 20;
+
+  struct Rows {
+    int r0 = 0;  // first owned interior row
+    int r1 = 0;  // one past the last owned interior row
+  };
+  [[nodiscard]] Rows rows_of(int level_n, int pid) const {
+    const int inner = level_n - 2;
+    Rows rows;
+    rows.r0 = 1 + inner * pid / P_;
+    rows.r1 = 1 + inner * (pid + 1) / P_;
+    return rows;
+  }
+
+  /// Read rows [r0-1, r1+1) of `arr` (own block plus halos) into `buf`.
+  engine::Task<void> read_with_halo(Shm& shm, const SharedArray<double>& arr,
+                                    int n, const Rows& rows,
+                                    std::vector<double>& buf) {
+    const auto width = static_cast<std::size_t>(n);
+    const std::size_t count =
+        static_cast<std::size_t>(rows.r1 - rows.r0 + 2) * width;
+    buf.resize(count);
+    co_await arr.get_block(shm, static_cast<std::size_t>(rows.r0 - 1) * width,
+                           buf.data(), count);
+  }
+
+  engine::Task<void> vcycle(Shm& shm, int pid, int k) {
+    const bool coarsest = k + 1 == static_cast<int>(levels_.size());
+    const int sweeps = coarsest ? kCoarseSmooth : kPreSmooth;
+    for (int s = 0; s < sweeps; ++s) {
+      co_await rb_sweep(shm, pid, k);
+    }
+    if (!coarsest) {
+      co_await restrict_residual(shm, pid, k);
+      co_await vcycle(shm, pid, k + 1);
+      co_await prolongate(shm, pid, k);
+      for (int s = 0; s < kPostSmooth; ++s) {
+        co_await rb_sweep(shm, pid, k);
+      }
+    }
+  }
+
+  /// Red-black sweep: for each color, read u (with halos) and f, update the
+  /// color's points in the owned rows, write the rows back, barrier.
+  engine::Task<void> rb_sweep(Shm& shm, int pid, int k) {
+    Level& lv = levels_[static_cast<std::size_t>(k)];
+    const int n = lv.n;
+    const Rows rows = rows_of(n, pid);
+    const auto width = static_cast<std::size_t>(n);
+    std::vector<double> u, f;
+    for (int color = 0; color < 2; ++color) {
+      if (rows.r1 > rows.r0) {
+        co_await read_with_halo(shm, lv.u, n, rows, u);
+        f.resize(static_cast<std::size_t>(rows.r1 - rows.r0) * width);
+        co_await lv.f.get_block(shm, static_cast<std::size_t>(rows.r0) * width,
+                                f.data(), f.size());
+        for (int i = rows.r0; i < rows.r1; ++i) {
+          const auto li = static_cast<std::size_t>(i - rows.r0 + 1);
+          double* row = u.data() + li * width;
+          const double* up = row - width;
+          const double* down = row + width;
+          const double* fr =
+              f.data() + static_cast<std::size_t>(i - rows.r0) * width;
+          for (int j = 1 + (i + 1 + color) % 2; j < n - 1; j += 2) {
+            row[j] = 0.25 * (up[j] + down[j] + row[j - 1] + row[j + 1] +
+                             lv.h2 * fr[j]);
+          }
+        }
+        shm.compute(kWorkScale *
+                    static_cast<Cycles>(rows.r1 - rows.r0) * n / 2 * 6);
+        co_await lv.u.put_block(shm, static_cast<std::size_t>(rows.r0) * width,
+                                u.data() + width,
+                                static_cast<std::size_t>(rows.r1 - rows.r0) *
+                                    width);
+      }
+      co_await shm.barrier();
+    }
+  }
+
+  /// Residual on level k, full-weighting restriction into level k+1's rhs,
+  /// and zero-initialize the coarse solution.
+  engine::Task<void> restrict_residual(Shm& shm, int pid, int k) {
+    Level& fine = levels_[static_cast<std::size_t>(k)];
+    Level& coarse = levels_[static_cast<std::size_t>(k) + 1];
+    const int n = fine.n;
+    const auto width = static_cast<std::size_t>(n);
+    const Rows rows = rows_of(n, pid);
+
+    // Residual r = f + laplace(u) on owned rows.
+    std::vector<double> u, f, r;
+    if (rows.r1 > rows.r0) {
+      co_await read_with_halo(shm, fine.u, n, rows, u);
+      f.resize(static_cast<std::size_t>(rows.r1 - rows.r0) * width);
+      co_await fine.f.get_block(shm, static_cast<std::size_t>(rows.r0) * width,
+                                f.data(), f.size());
+      r.assign(f.size(), 0.0);
+      for (int i = rows.r0; i < rows.r1; ++i) {
+        const auto li = static_cast<std::size_t>(i - rows.r0 + 1);
+        const double* row = u.data() + li * width;
+        const double* up = row - width;
+        const double* down = row + width;
+        const auto ro = static_cast<std::size_t>(i - rows.r0) * width;
+        for (int j = 1; j < n - 1; ++j) {
+          r[ro + j] = f[ro + j] + (up[j] + down[j] + row[j - 1] + row[j + 1] -
+                                   4.0 * row[j]) /
+                                      fine.h2;
+        }
+      }
+      shm.compute(kWorkScale * static_cast<Cycles>(rows.r1 - rows.r0) * n * 7);
+      co_await fine.r.put_block(shm, static_cast<std::size_t>(rows.r0) * width,
+                                r.data(), r.size());
+    }
+    co_await shm.barrier();
+
+    // Full weighting onto the coarse grid: coarse rows owned per processor.
+    const int cn = coarse.n;
+    const auto cwidth = static_cast<std::size_t>(cn);
+    const Rows crows = rows_of(cn, pid);
+    if (crows.r1 > crows.r0) {
+      // Need fine residual rows 2*r0-1 .. 2*(r1-1)+1 inclusive.
+      const int fr0 = 2 * crows.r0 - 1;
+      const int fr1 = 2 * (crows.r1 - 1) + 2;
+      std::vector<double> fres(static_cast<std::size_t>(fr1 - fr0) * width);
+      co_await fine.r.get_block(shm, static_cast<std::size_t>(fr0) * width,
+                                fres.data(), fres.size());
+      std::vector<double> cf(static_cast<std::size_t>(crows.r1 - crows.r0) *
+                             cwidth);
+      std::vector<double> zero(cf.size(), 0.0);
+      for (int ci = crows.r0; ci < crows.r1; ++ci) {
+        const int fi = 2 * ci;
+        const double* m =
+            fres.data() + static_cast<std::size_t>(fi - fr0) * width;
+        const double* a = m - width;
+        const double* b = m + width;
+        const auto co = static_cast<std::size_t>(ci - crows.r0) * cwidth;
+        for (int cj = 1; cj < cn - 1; ++cj) {
+          const int fj = 2 * cj;
+          cf[co + cj] =
+              0.25 * m[fj] + 0.125 * (m[fj - 1] + m[fj + 1] + a[fj] + b[fj]) +
+              0.0625 * (a[fj - 1] + a[fj + 1] + b[fj - 1] + b[fj + 1]);
+        }
+      }
+      shm.compute(kWorkScale *
+                  static_cast<Cycles>(crows.r1 - crows.r0) * cn * 10);
+      co_await coarse.f.put_block(
+          shm, static_cast<std::size_t>(crows.r0) * cwidth, cf.data(),
+          cf.size());
+      co_await coarse.u.put_block(
+          shm, static_cast<std::size_t>(crows.r0) * cwidth, zero.data(),
+          zero.size());
+    }
+    co_await shm.barrier();
+  }
+
+  /// Bilinear prolongation of the coarse correction onto the fine grid.
+  engine::Task<void> prolongate(Shm& shm, int pid, int k) {
+    Level& fine = levels_[static_cast<std::size_t>(k)];
+    Level& coarse = levels_[static_cast<std::size_t>(k) + 1];
+    const int n = fine.n;
+    const int cn = coarse.n;
+    const auto width = static_cast<std::size_t>(n);
+    const auto cwidth = static_cast<std::size_t>(cn);
+    const Rows rows = rows_of(n, pid);
+    if (rows.r1 > rows.r0) {
+      // Coarse rows covering fine rows [r0, r1): r0/2 .. (r1-1)/2 + 1.
+      const int cr0 = rows.r0 / 2;
+      const int cr1 = std::min(cn - 1, (rows.r1 - 1) / 2 + 1);
+      std::vector<double> cu(static_cast<std::size_t>(cr1 - cr0 + 1) * cwidth);
+      co_await coarse.u.get_block(shm, static_cast<std::size_t>(cr0) * cwidth,
+                                  cu.data(), cu.size());
+      std::vector<double> fu;
+      co_await read_with_halo(shm, fine.u, n, rows, fu);
+      for (int i = rows.r0; i < rows.r1; ++i) {
+        double* row =
+            fu.data() + static_cast<std::size_t>(i - rows.r0 + 1) * width;
+        const int ci = i / 2;
+        const double* c0 =
+            cu.data() + static_cast<std::size_t>(ci - cr0) * cwidth;
+        const double* c1 = (i % 2 == 0) ? c0 : c0 + cwidth;
+        for (int j = 1; j < n - 1; ++j) {
+          const int cj = j / 2;
+          double corr;
+          if (i % 2 == 0 && j % 2 == 0) {
+            corr = c0[cj];
+          } else if (i % 2 == 0) {
+            corr = 0.5 * (c0[cj] + c0[cj + 1]);
+          } else if (j % 2 == 0) {
+            corr = 0.5 * (c0[cj] + c1[cj]);
+          } else {
+            corr = 0.25 * (c0[cj] + c0[cj + 1] + c1[cj] + c1[cj + 1]);
+          }
+          row[j] += corr;
+        }
+      }
+      shm.compute(kWorkScale * static_cast<Cycles>(rows.r1 - rows.r0) * n * 5);
+      co_await fine.u.put_block(shm, static_cast<std::size_t>(rows.r0) * width,
+                                fu.data() + width,
+                                static_cast<std::size_t>(rows.r1 - rows.r0) *
+                                    width);
+    }
+    co_await shm.barrier();
+  }
+
+  /// Sequential reference: the identical V-cycle on host arrays. Point
+  /// updates are order-independent within a color, so results match the
+  /// parallel run exactly.
+  [[nodiscard]] std::vector<double> reference() const {
+    struct HostLevel {
+      int n;
+      double h2;
+      std::vector<double> u, f, r;
+    };
+    std::vector<HostLevel> ls;
+    for (int n = n_; n >= 9; n = (n - 1) / 2 + 1) {
+      HostLevel hl;
+      hl.n = n;
+      const double h = 1.0 / (n - 1);
+      hl.h2 = h * h;
+      hl.u.assign(static_cast<std::size_t>(n) * n, 0.0);
+      hl.f.assign(static_cast<std::size_t>(n) * n, 0.0);
+      hl.r.assign(static_cast<std::size_t>(n) * n, 0.0);
+      ls.push_back(std::move(hl));
+    }
+    ls[0].f = f0_;
+
+    auto sweep = [&](HostLevel& lv) {
+      const int n = lv.n;
+      for (int color = 0; color < 2; ++color) {
+        for (int i = 1; i < n - 1; ++i) {
+          for (int j = 1 + (i + 1 + color) % 2; j < n - 1; j += 2) {
+            const auto idx = static_cast<std::size_t>(i) * n + j;
+            lv.u[idx] =
+                0.25 * (lv.u[idx - static_cast<std::size_t>(n)] +
+                        lv.u[idx + static_cast<std::size_t>(n)] +
+                        lv.u[idx - 1] + lv.u[idx + 1] + lv.h2 * lv.f[idx]);
+          }
+        }
+      }
+    };
+    std::function<void(std::size_t)> vc = [&](std::size_t k) {
+      HostLevel& lv = ls[k];
+      const bool coarsest = k + 1 == ls.size();
+      for (int s = 0; s < (coarsest ? kCoarseSmooth : kPreSmooth); ++s) {
+        sweep(lv);
+      }
+      if (coarsest) return;
+      HostLevel& cv = ls[k + 1];
+      const int n = lv.n;
+      for (int i = 1; i < n - 1; ++i) {
+        for (int j = 1; j < n - 1; ++j) {
+          const auto idx = static_cast<std::size_t>(i) * n + j;
+          lv.r[idx] = lv.f[idx] + (lv.u[idx - static_cast<std::size_t>(n)] +
+                                   lv.u[idx + static_cast<std::size_t>(n)] +
+                                   lv.u[idx - 1] + lv.u[idx + 1] -
+                                   4.0 * lv.u[idx]) /
+                                      lv.h2;
+        }
+      }
+      const int cn = cv.n;
+      std::fill(cv.u.begin(), cv.u.end(), 0.0);
+      for (int ci = 1; ci < cn - 1; ++ci) {
+        for (int cj = 1; cj < cn - 1; ++cj) {
+          const int fi = 2 * ci;
+          const int fj = 2 * cj;
+          auto at = [&](int a, int b) {
+            return lv.r[static_cast<std::size_t>(a) * n + b];
+          };
+          cv.f[static_cast<std::size_t>(ci) * cn + cj] =
+              0.25 * at(fi, fj) +
+              0.125 * (at(fi, fj - 1) + at(fi, fj + 1) + at(fi - 1, fj) +
+                       at(fi + 1, fj)) +
+              0.0625 * (at(fi - 1, fj - 1) + at(fi - 1, fj + 1) +
+                        at(fi + 1, fj - 1) + at(fi + 1, fj + 1));
+        }
+      }
+      vc(k + 1);
+      for (int i = 1; i < n - 1; ++i) {
+        for (int j = 1; j < n - 1; ++j) {
+          const int ci = i / 2;
+          const int cj = j / 2;
+          auto cat = [&](int a, int b) {
+            return cv.u[static_cast<std::size_t>(a) * cn + b];
+          };
+          double corr;
+          if (i % 2 == 0 && j % 2 == 0) {
+            corr = cat(ci, cj);
+          } else if (i % 2 == 0) {
+            corr = 0.5 * (cat(ci, cj) + cat(ci, cj + 1));
+          } else if (j % 2 == 0) {
+            corr = 0.5 * (cat(ci, cj) + cat(ci + 1, cj));
+          } else {
+            corr = 0.25 * (cat(ci, cj) + cat(ci, cj + 1) + cat(ci + 1, cj) +
+                           cat(ci + 1, cj + 1));
+          }
+          lv.u[static_cast<std::size_t>(i) * n + j] += corr;
+        }
+      }
+      for (int s = 0; s < kPostSmooth; ++s) sweep(lv);
+    };
+    for (int c = 0; c < cycles_; ++c) vc(0);
+    return ls[0].u;
+  }
+
+  int n_ = 33;
+  int cycles_ = 2;
+  int P_ = 1;
+  std::vector<Level> levels_;
+  std::vector<double> f0_;
+  std::vector<double> expected_;
+};
+
+}  // namespace
+
+std::unique_ptr<Application> make_ocean(Scale scale) {
+  return std::make_unique<OceanApp>(scale);
+}
+
+}  // namespace svmsim::apps

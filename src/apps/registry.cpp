@@ -1,0 +1,35 @@
+#include "apps/registry.hpp"
+
+#include <stdexcept>
+
+#include "apps/factories.hpp"
+
+namespace svmsim::apps {
+
+const std::vector<std::string>& suite() {
+  static const std::vector<std::string> kSuite = {
+      "fft",   "lu",       "ocean",   "water-nsq", "water-sp",
+      "radix", "raytrace", "volrend", "barnes",    "barnes-space",
+  };
+  return kSuite;
+}
+
+bool is_regular(const std::string& name) {
+  return name == "fft" || name == "lu" || name == "ocean";
+}
+
+std::unique_ptr<Application> make_app(const std::string& name, Scale scale) {
+  if (name == "fft") return make_fft(scale);
+  if (name == "lu") return make_lu(scale);
+  if (name == "ocean") return make_ocean(scale);
+  if (name == "radix") return make_radix(scale);
+  if (name == "water-nsq") return make_water_nsquared(scale);
+  if (name == "water-sp") return make_water_spatial(scale);
+  if (name == "barnes") return make_barnes_rebuild(scale);
+  if (name == "barnes-space") return make_barnes_space(scale);
+  if (name == "raytrace") return make_raytrace(scale);
+  if (name == "volrend") return make_volrend(scale);
+  throw std::invalid_argument("unknown application: " + name);
+}
+
+}  // namespace svmsim::apps

@@ -1,0 +1,24 @@
+// Factory for the application suite (paper §4).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace svmsim::apps {
+
+/// The ten applications, in the paper's presentation order.
+[[nodiscard]] const std::vector<std::string>& suite();
+
+/// Regular (single-writer) vs irregular grouping of §4.
+[[nodiscard]] bool is_regular(const std::string& name);
+
+/// Create an application by name ("fft", "lu", "ocean", "water-nsq",
+/// "water-sp", "radix", "raytrace", "volrend", "barnes", "barnes-space").
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<Application> make_app(const std::string& name,
+                                                    Scale scale);
+
+}  // namespace svmsim::apps

@@ -1,0 +1,43 @@
+#include "core/machine.hpp"
+
+#include <stdexcept>
+
+namespace svmsim {
+
+Machine::Machine(const SimConfig& cfg)
+    : cfg_(cfg),
+      stats_(cfg.comm.total_procs),
+      space_(cfg.comm.node_count(), cfg.comm.page_bytes),
+      shared_(sim_, cfg.comm.node_count(), kMaxLocks),
+      network_(sim_, cfg_.arch) {
+  if (cfg.comm.total_procs % cfg.comm.procs_per_node != 0) {
+    throw std::invalid_argument(
+        "total_procs must be a multiple of procs_per_node");
+  }
+  const int nodes = cfg_.comm.node_count();
+  nodes_.reserve(static_cast<std::size_t>(nodes));
+  agents_.reserve(static_cast<std::size_t>(nodes));
+  for (NodeId n = 0; n < nodes; ++n) {
+    nodes_.push_back(std::make_unique<Node>(
+        sim_, cfg_, n, cfg_.comm.procs_per_node,
+        n * cfg_.comm.procs_per_node, network_, stats_));
+  }
+  for (NodeId n = 0; n < nodes; ++n) {
+    Node& nd = *nodes_[static_cast<std::size_t>(n)];
+    std::unique_ptr<svm::SvmAgent> agent;
+    if (cfg_.comm.protocol == Protocol::kAURC) {
+      agent = std::make_unique<svm::AurcAgent>(
+          sim_, cfg_, n, cfg_.comm.procs_per_node, space_, shared_, nd.comm(),
+          stats_.counters());
+    } else {
+      agent = std::make_unique<svm::HlrcAgent>(
+          sim_, cfg_, n, cfg_.comm.procs_per_node, space_, shared_, nd.comm(),
+          stats_.counters());
+    }
+    agent->install();
+    nd.wire(*agent);
+    agents_.push_back(std::move(agent));
+  }
+}
+
+}  // namespace svmsim

@@ -1,0 +1,78 @@
+// The simulated cluster: nodes x processors, network, shared address space
+// and one protocol agent per node. This is the library's main entry type.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/node.hpp"
+#include "core/params.hpp"
+#include "core/stats.hpp"
+#include "engine/simulator.hpp"
+#include "net/nic.hpp"
+#include "svm/address_space.hpp"
+#include "svm/aurc.hpp"
+#include "svm/hlrc.hpp"
+
+namespace svmsim {
+
+class Machine {
+ public:
+  /// Lock-id pool available to applications (ids are taken modulo this).
+  static constexpr int kMaxLocks = 8192;
+
+  explicit Machine(const SimConfig& cfg);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] engine::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] Stats& stats() noexcept { return stats_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] svm::AddressSpace& space() noexcept { return space_; }
+
+  [[nodiscard]] int total_procs() const noexcept {
+    return cfg_.comm.total_procs;
+  }
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] NodeId node_of(ProcId p) const noexcept {
+    return p / cfg_.comm.procs_per_node;
+  }
+
+  [[nodiscard]] Node& node(NodeId n) { return *nodes_.at(n); }
+  [[nodiscard]] Processor& proc(ProcId p) {
+    return nodes_.at(node_of(p))->proc(p % cfg_.comm.procs_per_node);
+  }
+  [[nodiscard]] svm::SvmAgent& agent(NodeId n) { return *agents_.at(n); }
+  [[nodiscard]] svm::SvmAgent& agent_of(ProcId p) {
+    return agent(node_of(p));
+  }
+
+  /// Allocate shared memory (application setup).
+  svm::GlobalAddr alloc(std::uint64_t bytes, svm::Distribution d) {
+    return space_.alloc(bytes, d);
+  }
+
+  /// Out-of-band data access for initialization/validation.
+  void debug_read(svm::GlobalAddr a, void* dst, std::uint64_t bytes) {
+    space_.debug_read(a, dst, bytes);
+  }
+  void debug_write(svm::GlobalAddr a, const void* src, std::uint64_t bytes) {
+    space_.debug_write(a, src, bytes);
+  }
+
+ private:
+  SimConfig cfg_;
+  engine::Simulator sim_;
+  Stats stats_;
+  svm::AddressSpace space_;
+  svm::SharedState shared_;
+  net::Network network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<svm::SvmAgent>> agents_;
+};
+
+}  // namespace svmsim

@@ -1,0 +1,73 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace svmsim {
+
+Node::Node(engine::Simulator& sim, const SimConfig& cfg, NodeId id, int procs,
+           ProcId first_proc, net::Network& network, Stats& stats)
+    : sim_(&sim),
+      cfg_(&cfg),
+      id_(id),
+      counters_(&stats.counters()),
+      membus_(sim, cfg.arch) {
+  std::vector<net::Nic*> nic_ptrs;
+  for (int k = 0; k < std::max(1, cfg.comm.nics_per_node); ++k) {
+    nics_.push_back(std::make_unique<net::Nic>(sim, cfg.arch, cfg.comm, id, k,
+                                               membus_, stats.counters()));
+    network.add_nic(*nics_.back());
+    nic_ptrs.push_back(nics_.back().get());
+  }
+  comm_ = std::make_unique<net::NodeComm>(sim, id, std::move(nic_ptrs),
+                                          stats.counters());
+  procs_.reserve(static_cast<std::size_t>(procs));
+  for (int i = 0; i < procs; ++i) {
+    const ProcId gid = first_proc + i;
+    procs_.push_back(std::make_unique<Processor>(sim, cfg, gid, i, id,
+                                                 membus_, stats.proc(gid)));
+  }
+}
+
+Processor& Node::pick_interrupt_victim() {
+  // Round-robin delivery for the rotating scheme; polling also rotates
+  // (whichever processor's poll loop finds the request services it).
+  if (cfg_->comm.interrupt_scheme != InterruptScheme::kFixedProcessor) {
+    Processor& victim = *procs_[static_cast<std::size_t>(rr_next_)];
+    rr_next_ = (rr_next_ + 1) % static_cast<int>(procs_.size());
+    return victim;
+  }
+  return *procs_.front();  // paper's base scheme: always processor 0
+}
+
+void Node::wire(svm::SvmAgent& agent) {
+  comm_->interrupt_dispatch =
+      [this](std::function<engine::Task<void>()> body) {
+        if (cfg_->comm.interrupt_scheme == InterruptScheme::kPolling) {
+          ++counters_->polled_requests;
+          // No interrupt: the request sits until a processor's next poll
+          // tick notices it (paper §10's polling proposal).
+          const Cycles interval = std::max<Cycles>(1, cfg_->comm.poll_interval);
+          const Cycles next_tick =
+              (sim_->now() / interval + 1) * interval;
+          sim_->queue().schedule_at(
+              next_tick, [this, body = std::move(body)]() mutable {
+                pick_interrupt_victim().service_polled(std::move(body));
+              });
+          return;
+        }
+        ++counters_->interrupts;
+        pick_interrupt_victim().service_interrupt(std::move(body));
+      };
+  agent.invalidate_caches = [this](std::uint64_t addr, std::uint64_t len) {
+    invalidate_caches(addr, len);
+  };
+}
+
+void Node::invalidate_caches(std::uint64_t addr, std::uint64_t len) {
+  for (auto& p : procs_) {
+    p->mem().invalidate_range(addr, len);
+  }
+}
+
+}  // namespace svmsim

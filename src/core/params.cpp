@@ -1,0 +1,56 @@
+#include "core/params.hpp"
+
+#include <sstream>
+
+namespace svmsim {
+
+std::string to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kHLRC:
+      return "HLRC";
+    case Protocol::kAURC:
+      return "AURC";
+  }
+  return "?";
+}
+
+std::string to_string(InterruptScheme s) {
+  switch (s) {
+    case InterruptScheme::kFixedProcessor:
+      return "fixed-proc0";
+    case InterruptScheme::kRoundRobin:
+      return "round-robin";
+    case InterruptScheme::kPolling:
+      return "polling";
+  }
+  return "?";
+}
+
+CommParams CommParams::achievable() {
+  CommParams p;
+  p.host_overhead = 500;
+  p.io_bus_mb_per_mhz = 0.5;  // 100 MB/s at 200 MHz
+  p.ni_occupancy = 1000;
+  p.interrupt_cost = 500;  // null interrupt: 1000 cycles
+  return p;
+}
+
+CommParams CommParams::best() {
+  CommParams p;
+  p.host_overhead = 0;
+  p.io_bus_mb_per_mhz = 2.0;  // == memory bus bandwidth
+  p.ni_occupancy = 0;
+  p.interrupt_cost = 0;
+  return p;
+}
+
+std::string CommParams::describe() const {
+  std::ostringstream os;
+  os << to_string(protocol) << " o=" << host_overhead
+     << " bw=" << io_bus_mb_per_mhz << "MB/MHz occ=" << ni_occupancy
+     << " intr=" << interrupt_cost << " page=" << page_bytes
+     << " procs/node=" << procs_per_node << "x" << node_count();
+  return os.str();
+}
+
+}  // namespace svmsim

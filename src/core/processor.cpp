@@ -1,0 +1,66 @@
+#include "core/processor.hpp"
+
+#include <utility>
+
+namespace svmsim {
+
+Processor::Processor(engine::Simulator& sim, const SimConfig& cfg,
+                     ProcId global_id, int local_index, NodeId node,
+                     memsys::MemoryBus& membus, Breakdown& breakdown)
+    : sim_(&sim),
+      cfg_(&cfg),
+      id_(global_id),
+      local_index_(local_index),
+      node_(node),
+      bd_(&breakdown),
+      mem_(sim, cfg.arch, membus),
+      handler_cpu_(sim) {}
+
+engine::Task<void> Processor::drain() {
+  while (pending_ > 0 || steal_ > 0) {
+    const Cycles p = std::exchange(pending_, 0);
+    const Cycles s = std::exchange(steal_, 0);
+    if (s > 0) bd_->add(TimeCat::kHandler, s);
+    co_await sim_->delay(p + s);
+    // More handler time may have been stolen while we advanced; loop.
+  }
+}
+
+engine::Task<Cycles> Processor::wait_begin() {
+  co_await drain();
+  co_return sim_->now();
+}
+
+void Processor::wait_end(TimeCat cat, Cycles t0) {
+  const Cycles waited = sim_->now() - t0;
+  bd_->add(cat, waited);
+  // Handler work that ran while the application was blocked anyway did not
+  // slow the application down; forgive that much of the pending steal.
+  steal_ = steal_ > waited ? steal_ - waited : 0;
+}
+
+engine::Task<void> Processor::interrupt_body(
+    std::function<engine::Task<void>()> body, Cycles entry_cost) {
+  const Cycles t0 = sim_->now();
+  // Delivery cost (interrupt issue+delivery, or the poll check), then the
+  // handler dispatch and the handler itself.
+  co_await sim_->delay(entry_cost + cfg_->arch.handler_dispatch_cycles);
+  co_await body();
+  steal_ += sim_->now() - t0;
+}
+
+void Processor::service_interrupt(std::function<engine::Task<void>()> body) {
+  engine::spawn(handler_cpu_.with(
+      [this, body = std::move(body)]() mutable -> engine::Task<void> {
+        return interrupt_body(std::move(body), 2 * cfg_->comm.interrupt_cost);
+      }));
+}
+
+void Processor::service_polled(std::function<engine::Task<void>()> body) {
+  engine::spawn(handler_cpu_.with(
+      [this, body = std::move(body)]() mutable -> engine::Task<void> {
+        return interrupt_body(std::move(body), cfg_->comm.poll_check_cost);
+      }));
+}
+
+}  // namespace svmsim

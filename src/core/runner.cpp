@@ -1,0 +1,68 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace svmsim {
+
+namespace {
+
+engine::Task<void> proc_main(Workload& w, Machine& m, ProcId pid,
+                             int& finished) {
+  co_await w.body(m, pid);
+  // Final global barrier: flushes every node and guarantees quiescence, so
+  // validation can read home copies.
+  co_await m.agent_of(pid).barrier(m.proc(pid));
+  co_await m.proc(pid).drain();
+  m.proc(pid).mark_finished(m.sim().now());
+  ++finished;
+}
+
+}  // namespace
+
+double RunResult::per_proc_per_mcycles(std::uint64_t events) const {
+  // (events / procs) per (compute / procs) million cycles: the processor
+  // counts cancel, leaving events per million total compute cycles.
+  const double compute = static_cast<double>(stats.total_compute());
+  if (compute <= 0) return 0.0;
+  return static_cast<double>(events) * 1e6 / compute;
+}
+
+RunResult run(Workload& w, const SimConfig& cfg, Cycles max_cycles) {
+  Machine m(cfg);
+  w.setup(m);
+
+  int finished = 0;
+  const int n = m.total_procs();
+  for (ProcId pid = 0; pid < n; ++pid) {
+    engine::spawn(proc_main(w, m, pid, finished));
+  }
+  if (!m.sim().run_until(max_cycles)) {
+    throw std::runtime_error(w.name() + ": exceeded max simulated cycles");
+  }
+  if (finished != n) {
+    for (NodeId nd = 0; nd < m.node_count(); ++nd) {
+      m.agent(nd).dump_lock_state();
+    }
+    throw std::runtime_error(w.name() + ": simulation deadlocked (" +
+                             std::to_string(finished) + "/" +
+                             std::to_string(n) + " processors finished)");
+  }
+
+  RunResult r;
+  r.stats = m.stats();
+  for (ProcId pid = 0; pid < n; ++pid) {
+    r.time = std::max(r.time, m.proc(pid).finished_at());
+  }
+  r.validated = w.validate(m);
+  return r;
+}
+
+SimConfig uniprocessor_config(const SimConfig& cfg) {
+  SimConfig uni = cfg;
+  uni.comm.total_procs = 1;
+  uni.comm.procs_per_node = 1;
+  return uni;
+}
+
+}  // namespace svmsim

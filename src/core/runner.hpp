@@ -1,0 +1,53 @@
+// Workload interface and the single-run driver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/machine.hpp"
+#include "core/params.hpp"
+#include "core/stats.hpp"
+#include "engine/task.hpp"
+
+namespace svmsim {
+
+/// A parallel program to run on the simulated cluster. Implemented by every
+/// application in src/apps.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Allocate shared data and initialize home copies (untimed, like the
+  /// initialization phase excluded from SPLASH-2 measurements).
+  virtual void setup(Machine& m) = 0;
+
+  /// Per-processor program body. A final global barrier is appended by the
+  /// runner, so the last user-level barrier may be omitted.
+  virtual engine::Task<void> body(Machine& m, ProcId pid) = 0;
+
+  /// Check the computed results by reading home copies; true if correct.
+  virtual bool validate(Machine& m) = 0;
+};
+
+struct RunResult {
+  Cycles time = 0;     ///< parallel execution time (last processor finish)
+  Stats stats{0};
+  bool validated = false;
+
+  /// Per-processor rate of `events` per million compute cycles, averaged
+  /// over processors — the normalization used by Table 2 / Figures 3-4.
+  [[nodiscard]] double per_proc_per_mcycles(std::uint64_t events) const;
+};
+
+/// Run `w` on a machine configured by `cfg`. Throws if the simulation
+/// deadlocks or exceeds `max_cycles`.
+RunResult run(Workload& w, const SimConfig& cfg,
+              Cycles max_cycles = Cycles{1} << 42);
+
+/// Convenience: the uniprocessor baseline configuration for `cfg`.
+[[nodiscard]] SimConfig uniprocessor_config(const SimConfig& cfg);
+
+}  // namespace svmsim

@@ -1,0 +1,73 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+
+namespace svmsim {
+
+std::string_view to_string(TimeCat c) {
+  switch (c) {
+    case TimeCat::kCompute:
+      return "compute";
+    case TimeCat::kMemStall:
+      return "mem-stall";
+    case TimeCat::kWriteBufStall:
+      return "wb-stall";
+    case TimeCat::kDataWait:
+      return "data-wait";
+    case TimeCat::kLockWait:
+      return "lock-wait";
+    case TimeCat::kBarrierWait:
+      return "barrier-wait";
+    case TimeCat::kHandler:
+      return "handler";
+    case TimeCat::kProtocol:
+      return "protocol";
+    case TimeCat::kCount:
+      break;
+  }
+  return "?";
+}
+
+Counters& Counters::operator+=(const Counters& o) noexcept {
+  page_faults += o.page_faults;
+  read_faults += o.read_faults;
+  write_faults += o.write_faults;
+  page_fetches += o.page_fetches;
+  local_lock_acquires += o.local_lock_acquires;
+  remote_lock_acquires += o.remote_lock_acquires;
+  barriers += o.barriers;
+  messages_sent += o.messages_sent;
+  packets_sent += o.packets_sent;
+  bytes_sent += o.bytes_sent;
+  interrupts += o.interrupts;
+  polled_requests += o.polled_requests;
+  twins_created += o.twins_created;
+  diffs_created += o.diffs_created;
+  diff_bytes += o.diff_bytes;
+  write_notices += o.write_notices;
+  invalidations += o.invalidations;
+  updates_sent += o.updates_sent;
+  update_bytes += o.update_bytes;
+  ni_queue_overflows += o.ni_queue_overflows;
+  return *this;
+}
+
+Breakdown Stats::aggregate() const {
+  Breakdown sum;
+  for (const auto& b : per_proc_) sum += b;
+  return sum;
+}
+
+Cycles Stats::max_local_only() const {
+  Cycles m = 0;
+  for (const auto& b : per_proc_) m = std::max(m, b.local_only());
+  return m;
+}
+
+Cycles Stats::total_compute() const {
+  Cycles s = 0;
+  for (const auto& b : per_proc_) s += b.get(TimeCat::kCompute);
+  return s;
+}
+
+}  // namespace svmsim

@@ -1,0 +1,38 @@
+#include "engine/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace svmsim::engine {
+
+void EventQueue::schedule_at(Cycles when, Action action) {
+  assert(when >= now_ && "cannot schedule an event in the past");
+  heap_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because we pop immediately and never reuse the slot.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.when;
+  ++fired_;
+  ev.action();
+  return true;
+}
+
+void EventQueue::run_until_idle() {
+  while (step()) {
+  }
+}
+
+bool EventQueue::run_until(Cycles deadline) {
+  while (!heap_.empty()) {
+    if (heap_.top().when > deadline) return false;
+    step();
+  }
+  return true;
+}
+
+}  // namespace svmsim::engine

@@ -1,0 +1,66 @@
+// A deterministic discrete-event queue.
+//
+// Events are (time, sequence) ordered; the sequence number makes simultaneous
+// events fire in insertion order, which keeps every simulation run
+// bit-reproducible regardless of heap internals.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "engine/types.hpp"
+
+namespace svmsim::engine {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time. Advances only inside run()/step().
+  [[nodiscard]] Cycles now() const noexcept { return now_; }
+
+  /// Schedule `action` to run at absolute time `when` (must be >= now()).
+  void schedule_at(Cycles when, Action action);
+
+  /// Schedule `action` to run `delay` cycles from now.
+  void schedule_in(Cycles delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+
+  /// Run a single event; returns false if none pending.
+  bool step();
+
+  /// Run until no events remain.
+  void run_until_idle();
+
+  /// Run until no events remain or simulated time would exceed `deadline`.
+  /// Returns true if the queue drained, false if the deadline stopped it.
+  bool run_until(Cycles deadline);
+
+ private:
+  struct Event {
+    Cycles when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Cycles now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace svmsim::engine

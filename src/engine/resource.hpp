@@ -1,0 +1,92 @@
+// Contended hardware resources.
+//
+// Resource          — single FIFO server (NI processor, I/O bus, handler CPU).
+// PriorityResource  — single server with fixed-priority arbitration and a
+//                     per-grant arbitration delay (the split-transaction
+//                     memory bus of the paper, whose arbitration takes one
+//                     bus cycle and whose priority order is NI-out > L2 >
+//                     write buffer > memory refill > NI-in).
+//
+// Both track busy time and grant counts so benches can report utilization.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "engine/simulator.hpp"
+#include "engine/task.hpp"
+#include "engine/types.hpp"
+
+namespace svmsim::engine {
+
+class Resource {
+ public:
+  explicit Resource(Simulator& sim) noexcept : sim_(&sim) {}
+
+  /// Occupy the resource for `service` cycles, waiting in FIFO order first.
+  /// This is the common use; bare acquire/release is not exposed to keep
+  /// callers exception-safe (CP.20: no naked lock/unlock).
+  Task<void> serve(Cycles service);
+
+  /// Run `body` while holding the resource exclusively; the hold time is
+  /// whatever simulated time `body` consumes. Used to serialize interrupt
+  /// handlers on their victim processor.
+  Task<void> with(std::function<Task<void>()> body);
+
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  [[nodiscard]] Cycles busy_cycles() const noexcept { return busy_cycles_; }
+  [[nodiscard]] std::uint64_t grants() const noexcept { return grants_; }
+  [[nodiscard]] std::size_t queue_length() const noexcept {
+    return waiters_.size();
+  }
+
+ private:
+  Task<void> acquire();
+  void release();
+
+  Simulator* sim_;
+  bool busy_ = false;
+  Cycles busy_cycles_ = 0;
+  std::uint64_t grants_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+class PriorityResource {
+ public:
+  /// `arbitration` cycles are charged on every grant, before service begins.
+  PriorityResource(Simulator& sim, Cycles arbitration) noexcept
+      : sim_(&sim), arbitration_(arbitration) {}
+
+  /// Occupy the resource for `service` cycles. Lower `priority` value wins
+  /// arbitration; ties are FIFO.
+  Task<void> serve(int priority, Cycles service);
+
+  [[nodiscard]] Cycles busy_cycles() const noexcept { return busy_cycles_; }
+  [[nodiscard]] std::uint64_t grants() const noexcept { return grants_; }
+  [[nodiscard]] std::size_t queue_length() const noexcept {
+    return waiters_.size();
+  }
+
+ private:
+  struct Key {
+    int priority;
+    std::uint64_t seq;
+    bool operator<(const Key& o) const noexcept {
+      if (priority != o.priority) return priority < o.priority;
+      return seq < o.seq;
+    }
+  };
+
+  Simulator* sim_;
+  Cycles arbitration_;
+  bool busy_ = false;
+  Cycles busy_cycles_ = 0;
+  std::uint64_t grants_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::map<Key, std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace svmsim::engine

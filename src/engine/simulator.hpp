@@ -1,0 +1,128 @@
+// Simulator context: the event queue plus coroutine-friendly primitives
+// (delays, one-shot triggers, counting semaphores).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "engine/event_queue.hpp"
+#include "engine/task.hpp"
+#include "engine/types.hpp"
+
+namespace svmsim::engine {
+
+class Simulator {
+ public:
+  [[nodiscard]] Cycles now() const noexcept { return queue_.now(); }
+  [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+
+  /// Awaitable that suspends the coroutine for `d` cycles. d == 0 still goes
+  /// through the event queue, i.e. it yields to any already-scheduled event
+  /// at the current time.
+  [[nodiscard]] auto delay(Cycles d) noexcept {
+    struct Awaiter {
+      EventQueue& q;
+      Cycles d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        q.schedule_in(d, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{queue_, d};
+  }
+
+  void run_until_idle() { queue_.run_until_idle(); }
+  bool run_until(Cycles deadline) { return queue_.run_until(deadline); }
+
+ private:
+  EventQueue queue_;
+};
+
+/// One-shot broadcast event: waiters suspend until fire() is called; waits
+/// after fire() complete immediately. Used for request/reply rendezvous
+/// (the "synchronous RPC" style of the paper's messaging layer).
+class Trigger {
+ public:
+  explicit Trigger(Simulator& sim) noexcept : sim_(&sim) {}
+
+  [[nodiscard]] bool fired() const noexcept { return fired_; }
+
+  [[nodiscard]] auto wait() noexcept {
+    struct Awaiter {
+      Trigger& t;
+      bool await_ready() const noexcept { return t.fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        t.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Release all current and future waiters. Resumptions are scheduled on
+  /// the event queue at the current time (deterministic order).
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    for (auto h : waiters_) {
+      sim_->queue().schedule_in(0, [h] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  /// Re-arm for reuse (only when no waiters are pending).
+  void reset() noexcept {
+    fired_ = false;
+  }
+
+ private:
+  Simulator* sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO wakeup.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, std::int64_t initial) noexcept
+      : sim_(&sim), count_(initial) {}
+
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+
+  [[nodiscard]] auto acquire() noexcept {
+    struct Awaiter {
+      Semaphore& s;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (s.count_ > 0) {
+          --s.count_;
+          return false;  // proceed without suspending
+        }
+        s.waiters_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_->queue().schedule_in(0, [h] { h.resume(); });
+    } else {
+      ++count_;
+    }
+  }
+
+ private:
+  Simulator* sim_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace svmsim::engine

@@ -1,0 +1,197 @@
+// A lazy coroutine task type used for every simulated process.
+//
+// Simulated processors, protocol handlers and NI firmware are all written as
+// coroutines returning Task<T>. Awaiting a Task starts it; when the callee
+// finishes it transfers control back to the awaiter symmetrically, so deep
+// protocol call chains cost no stack and no event-queue traffic. Only real
+// simulated waiting (delays, resources, message arrival) goes through the
+// event queue.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace svmsim::engine {
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;  // resumed when this task completes
+  std::exception_ptr error;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto& promise = h.promise();
+      if (promise.continuation) return promise.continuation;
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// Lazy task: does nothing until awaited (or detached via spawn()).
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() noexcept {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task() noexcept = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return static_cast<bool>(handle_);
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        handle.promise().continuation = cont;
+        return handle;  // start the child task
+      }
+      T await_resume() {
+        auto& p = handle.promise();
+        if (p.error) std::rethrow_exception(p.error);
+        return std::move(*p.value);
+      }
+    };
+    assert(handle_ && "awaiting an empty Task");
+    return Awaiter{handle_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+
+  friend struct promise_type;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() noexcept {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  Task() noexcept = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return static_cast<bool>(handle_);
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        handle.promise().continuation = cont;
+        return handle;
+      }
+      void await_resume() {
+        auto& p = handle.promise();
+        if (p.error) std::rethrow_exception(p.error);
+      }
+    };
+    assert(handle_ && "awaiting an empty Task");
+    return Awaiter{handle_};
+  }
+
+  // spawn() needs to adopt the handle and manage the frame itself.
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+
+  friend struct promise_type;
+};
+
+namespace detail {
+
+/// Self-destroying top-level coroutine used by spawn().
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    [[noreturn]] void unhandled_exception() {
+      // A simulated process leaked an exception: that is a bug in the
+      // simulator or an application kernel, never a recoverable condition.
+      std::terminate();
+    }
+  };
+};
+
+inline Detached drive(Task<void> task) { co_await std::move(task); }
+
+}  // namespace detail
+
+/// Start `task` as an independent simulated process. The coroutine frame
+/// frees itself on completion.
+inline void spawn(Task<void> task) { detail::drive(std::move(task)); }
+
+}  // namespace svmsim::engine

@@ -1,0 +1,64 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace svmsim::harness {
+
+Cycles Sweep::baseline(const std::string& app, const SimConfig& base) {
+  std::ostringstream key;
+  key << app << "/pg" << base.comm.page_bytes << "/"
+      << to_string(base.comm.protocol);
+  auto it = baselines_.find(key.str());
+  if (it != baselines_.end()) return it->second;
+
+  auto w = apps::make_app(app, scale_);
+  const SimConfig uni = uniprocessor_config(base);
+  RunResult r = run(*w, uni);
+  if (!r.validated) {
+    throw std::runtime_error(app + ": uniprocessor run failed validation");
+  }
+  baselines_.emplace(key.str(), r.time);
+  return r.time;
+}
+
+AppRun Sweep::run_point(const std::string& app, const SimConfig& cfg,
+                        double param_value) {
+  AppRun out;
+  out.app = app;
+  out.param = param_value;
+  out.uniprocessor = baseline(app, cfg);
+  auto w = apps::make_app(app, scale_);
+  out.result = run(*w, cfg);
+  if (!out.result.validated) {
+    throw std::runtime_error(app + ": run failed validation");
+  }
+  return out;
+}
+
+std::vector<AppRun> Sweep::run_sweep(
+    const std::string& app, const SimConfig& base,
+    const std::vector<double>& values,
+    const std::function<void(SimConfig&, double)>& apply) {
+  std::vector<AppRun> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    SimConfig cfg = base;
+    apply(cfg, v);
+    out.push_back(run_point(app, cfg, v));
+  }
+  return out;
+}
+
+double max_slowdown_pct(const std::vector<AppRun>& runs) {
+  if (runs.size() < 2) return 0.0;
+  // The paper computes the slowdown between the smallest and the biggest
+  // value of the swept parameter: first point vs last point.
+  const double fast = runs.front().speedup();
+  const double slow = runs.back().speedup();
+  if (slow <= 0.0) return 0.0;
+  return (fast / slow - 1.0) * 100.0;
+}
+
+}  // namespace svmsim::harness

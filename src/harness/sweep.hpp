@@ -1,0 +1,68 @@
+// Parameter-sweep driver used by the figure/table benches: runs an
+// application suite across a list of configurations, caching the
+// uniprocessor baseline per application, and computes the paper's speedup
+// metrics (achievable / best / ideal).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "core/params.hpp"
+#include "core/runner.hpp"
+
+namespace svmsim::harness {
+
+struct AppRun {
+  std::string app;
+  double param = 0.0;       ///< swept parameter value for this point
+  RunResult result;
+  Cycles uniprocessor = 0;  ///< baseline time for this app
+
+  [[nodiscard]] double speedup() const {
+    return result.time > 0
+               ? static_cast<double>(uniprocessor) /
+                     static_cast<double>(result.time)
+               : 0.0;
+  }
+  /// The paper's ideal speedup: uniprocessor time over compute + local
+  /// stall of the slowest processor in the parallel run.
+  [[nodiscard]] double ideal_speedup() const {
+    const Cycles local = result.stats.max_local_only();
+    return local > 0 ? static_cast<double>(uniprocessor) /
+                           static_cast<double>(local)
+                     : 0.0;
+  }
+};
+
+class Sweep {
+ public:
+  explicit Sweep(apps::Scale scale) : scale_(scale) {}
+
+  /// Uniprocessor time for `app` under `base` (cached per app+page size).
+  Cycles baseline(const std::string& app, const SimConfig& base);
+
+  /// Run one application at one configuration.
+  AppRun run_point(const std::string& app, const SimConfig& cfg,
+                   double param_value);
+
+  /// Sweep `values`; `apply` writes the value into a config copy.
+  std::vector<AppRun> run_sweep(
+      const std::string& app, const SimConfig& base,
+      const std::vector<double>& values,
+      const std::function<void(SimConfig&, double)>& apply);
+
+  [[nodiscard]] apps::Scale scale() const noexcept { return scale_; }
+
+ private:
+  apps::Scale scale_;
+  std::map<std::string, Cycles> baselines_;
+};
+
+/// Max slowdown between the best and the worst speedup in a sweep, as a
+/// percentage (Table 3). Negative values indicate a speedup.
+[[nodiscard]] double max_slowdown_pct(const std::vector<AppRun>& runs);
+
+}  // namespace svmsim::harness

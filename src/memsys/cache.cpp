@@ -1,0 +1,78 @@
+#include "memsys/cache.hpp"
+
+#include <cassert>
+
+namespace svmsim::memsys {
+
+Cache::Cache(const CacheParams& p) : params_(p) {
+  assert(p.line_bytes > 0 && p.associativity > 0);
+  sets_ = p.size_bytes / (p.line_bytes * p.associativity);
+  assert(sets_ > 0 && (sets_ & (sets_ - 1)) == 0 &&
+         "cache set count must be a power of two");
+  lines_.resize(static_cast<std::size_t>(sets_) * p.associativity);
+}
+
+Cache::Line* Cache::find(std::uint64_t line_addr) {
+  const std::uint32_t s = set_of(line_addr);
+  Line* base = &lines_[static_cast<std::size_t>(s) * params_.associativity];
+  for (std::uint32_t w = 0; w < params_.associativity; ++w) {
+    if (base[w].valid && base[w].addr == line_addr) return &base[w];
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(std::uint64_t line_addr) const {
+  return const_cast<Cache*>(this)->find(line_addr);
+}
+
+bool Cache::lookup(std::uint64_t line_addr, bool mark_dirty) {
+  if (Line* l = find(line_addr)) {
+    l->lru = ++tick_;
+    if (mark_dirty) l->dirty = true;
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  return false;
+}
+
+bool Cache::contains(std::uint64_t line_addr) const {
+  return find(line_addr) != nullptr;
+}
+
+Cache::Victim Cache::fill(std::uint64_t line_addr, bool dirty) {
+  const std::uint32_t s = set_of(line_addr);
+  Line* base = &lines_[static_cast<std::size_t>(s) * params_.associativity];
+  Line* victim = &base[0];
+  for (std::uint32_t w = 0; w < params_.associativity; ++w) {
+    Line& l = base[w];
+    if (!l.valid) {
+      victim = &l;
+      break;
+    }
+    if (l.lru < victim->lru) victim = &l;
+  }
+  Victim out;
+  if (victim->valid) {
+    out.evicted = true;
+    out.dirty = victim->dirty;
+    out.line_addr = victim->addr;
+  }
+  victim->valid = true;
+  victim->addr = line_addr;
+  victim->dirty = dirty;
+  victim->lru = ++tick_;
+  return out;
+}
+
+void Cache::invalidate_range(std::uint64_t start, std::uint64_t len) {
+  const std::uint64_t end = start + len;
+  for (auto& l : lines_) {
+    if (l.valid && l.addr >= start && l.addr < end) {
+      l.valid = false;
+      l.dirty = false;
+    }
+  }
+}
+
+}  // namespace svmsim::memsys

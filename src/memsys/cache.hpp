@@ -1,0 +1,70 @@
+// Set-associative cache tag store (timing only — data lives in the SVM
+// address space). Used for both the write-through L1 and write-back L2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+#include "engine/types.hpp"
+
+namespace svmsim::memsys {
+
+class Cache {
+ public:
+  explicit Cache(const CacheParams& p);
+
+  /// Probe for `line_addr` (byte address of the line start). On hit, updates
+  /// LRU and optionally marks the line dirty.
+  bool lookup(std::uint64_t line_addr, bool mark_dirty = false);
+
+  /// Probe without disturbing LRU/dirty state.
+  [[nodiscard]] bool contains(std::uint64_t line_addr) const;
+
+  struct Victim {
+    bool evicted = false;           // a valid line was displaced
+    bool dirty = false;             // ... and it needs a writeback
+    std::uint64_t line_addr = 0;
+  };
+
+  /// Install `line_addr`, evicting the LRU way. Returns the victim.
+  Victim fill(std::uint64_t line_addr, bool dirty);
+
+  /// Drop every line within [start, start+len). Used when the SVM layer
+  /// invalidates or replaces a page: stale cached lines must not hit.
+  void invalidate_range(std::uint64_t start, std::uint64_t len);
+
+  [[nodiscard]] std::uint32_t line_bytes() const noexcept {
+    return params_.line_bytes;
+  }
+  [[nodiscard]] Cycles hit_cycles() const noexcept {
+    return params_.hit_cycles;
+  }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint32_t sets() const noexcept { return sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t addr = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::uint32_t set_of(std::uint64_t line_addr) const {
+    return static_cast<std::uint32_t>((line_addr / params_.line_bytes) %
+                                      sets_);
+  }
+  Line* find(std::uint64_t line_addr);
+  [[nodiscard]] const Line* find(std::uint64_t line_addr) const;
+
+  CacheParams params_;
+  std::uint32_t sets_;
+  std::vector<Line> lines_;  // sets_ x associativity, row-major by set
+  std::uint64_t tick_ = 0;   // LRU clock
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace svmsim::memsys

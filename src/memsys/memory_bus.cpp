@@ -1,0 +1,4 @@
+#include "memsys/memory_bus.hpp"
+
+// Header-only implementation; anchor TU.
+namespace svmsim::memsys {}

@@ -1,0 +1,4 @@
+#include "net/io_bus.hpp"
+
+// Header-only implementation; anchor TU.
+namespace svmsim::net {}

@@ -1,0 +1,78 @@
+// Wire-level message/packet model.
+//
+// A Message is the unit the protocol layer thinks in; the NIC fragments it
+// into MTU-sized packets, charges per-packet NI occupancy and I/O-bus/
+// memory-bus DMA on both sides, and reassembles at the receiver. Replies to
+// synchronous requests are deposited directly into host memory and never
+// interrupt (paper §3: "Requests are synchronous (RPC like), to avoid
+// interrupts when replies arrive"); unsolicited requests interrupt a
+// processor of the destination node.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <vector>
+
+#include "engine/types.hpp"
+
+namespace svmsim::net {
+
+enum class MsgType : int {
+  kPageRequest,     // fetch a page from its home           (interrupts)
+  kPageReply,       //                                      (no interrupt)
+  kDiffBatch,       // diffs flushed to a home at release   (interrupts)
+  kDiffAck,         //                                      (no interrupt)
+  kLockAcquire,     // remote lock acquire -> lock home     (interrupts)
+  kLockGrant,       // delayed reply to kLockAcquire        (no interrupt)
+  kLockRecall,      // home asks token holder to give back  (interrupts)
+  kTokenReturn,     // holder returns token to home         (interrupts)
+  kBarrierArrive,   // node rep -> barrier manager          (no interrupt)
+  kBarrierRelease,  // manager -> node reps                 (no interrupt)
+  kUpdate,          // AURC automatic update run (hardware) (no interrupt)
+  kUpdateMarker,    // AURC release marker, acked by the NI (no interrupt)
+  kUpdateMarkerAck, //                                      (no interrupt)
+};
+
+/// True if delivery of this message must interrupt a host processor.
+[[nodiscard]] constexpr bool interrupts_host(MsgType t) {
+  switch (t) {
+    case MsgType::kPageRequest:
+    case MsgType::kDiffBatch:
+    case MsgType::kLockAcquire:
+    case MsgType::kLockRecall:
+    case MsgType::kTokenReturn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True if this is a reply correlated to an outstanding synchronous request.
+[[nodiscard]] constexpr bool is_reply(MsgType t) {
+  switch (t) {
+    case MsgType::kPageReply:
+    case MsgType::kDiffAck:
+    case MsgType::kLockGrant:
+    case MsgType::kUpdateMarkerAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct Message {
+  MsgType type{};
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::uint64_t rpc_id = 0;        ///< correlation id for replies
+  std::uint64_t payload_bytes = 0; ///< protocol payload size on the wire
+
+  // Protocol fields (used as relevant per type).
+  std::uint64_t page = ~0ull;
+  std::uint32_t offset = 0;  ///< byte offset within `page` (AURC updates)
+  int lock_id = -1;
+  int barrier_id = 0;
+  std::any body;  ///< typed payload (diff batches, notices, page data)
+};
+
+}  // namespace svmsim::net

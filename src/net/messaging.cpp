@@ -1,0 +1,81 @@
+#include "net/messaging.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace svmsim::net {
+
+NodeComm::NodeComm(engine::Simulator& sim, NodeId self,
+                   std::vector<Nic*> nics, Counters& counters)
+    : sim_(&sim), self_(self), nics_(std::move(nics)), counters_(&counters) {
+  assert(!nics_.empty());
+  for (Nic* nic : nics_) {
+    nic->on_message = [this](Message&& m) { dispatch(std::move(m)); };
+  }
+}
+
+void NodeComm::set_on_update(std::function<void(const Message&)> fn) {
+  for (Nic* nic : nics_) {
+    nic->on_update = fn;
+  }
+}
+
+engine::Task<void> NodeComm::send(Message m) {
+  m.src = self_;
+  Nic& nic = nic_for(m.dst);
+  co_await nic.post(std::move(m));
+}
+
+std::uint64_t NodeComm::rpc_post(Message& m) {
+  const std::uint64_t id = next_rpc_id_++;
+  m.rpc_id = id;
+  pending_.emplace(id, std::make_unique<PendingReply>(*sim_));
+  return id;
+}
+
+engine::Task<Message> NodeComm::await_reply(std::uint64_t id) {
+  auto it = pending_.find(id);
+  assert(it != pending_.end() && "await_reply without rpc_post");
+  PendingReply& slot = *it->second;
+  co_await slot.arrived.wait();
+  Message reply = std::move(slot.reply);
+  pending_.erase(id);
+  co_return reply;
+}
+
+engine::Task<Message> NodeComm::rpc(Message m) {
+  const std::uint64_t id = rpc_post(m);
+  co_await send(std::move(m));
+  co_return co_await await_reply(id);
+}
+
+engine::Task<void> NodeComm::reply(const Message& req, Message rep) {
+  rep.dst = req.src;
+  rep.rpc_id = req.rpc_id;
+  assert(is_reply(rep.type) && "replies must use a reply message type");
+  co_await send(std::move(rep));
+}
+
+void NodeComm::dispatch(Message&& m) {
+  if (is_reply(m.type)) {
+    auto it = pending_.find(m.rpc_id);
+    assert(it != pending_.end() && "reply with no outstanding request");
+    it->second->reply = std::move(m);
+    it->second->arrived.fire();
+    return;
+  }
+  if (interrupts_host(m.type)) {
+    // Whether this costs an interrupt or a poll tick is the node's policy;
+    // the dispatch callback does the accounting.
+    assert(request_handler && interrupt_dispatch);
+    interrupt_dispatch(
+        [this, msg = std::move(m)]() mutable -> engine::Task<void> {
+          return request_handler(std::move(msg));
+        });
+    return;
+  }
+  assert(direct_handler && "unhandled direct message");
+  direct_handler(std::move(m));
+}
+
+}  // namespace svmsim::net

@@ -1,0 +1,127 @@
+#include "net/nic.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace svmsim::net {
+
+Nic::Nic(engine::Simulator& sim, const ArchParams& arch,
+         const CommParams& comm, NodeId self, int index,
+         memsys::MemoryBus& membus, Counters& counters)
+    : sim_(&sim),
+      arch_(&arch),
+      comm_(&comm),
+      self_(self),
+      index_(index),
+      membus_(&membus),
+      counters_(&counters),
+      iobus_(sim, comm),
+      ni_tx_(sim),
+      ni_rx_(sim),
+      send_items_(sim, 0),
+      send_space_(std::make_unique<engine::Trigger>(sim)),
+      recv_items_(sim, 0) {
+  engine::spawn(tx_loop());
+  engine::spawn(rx_loop());
+}
+
+engine::Task<void> Nic::post(Message m) {
+  const std::uint64_t wire = wire_bytes(m);
+  while (send_q_bytes_ + wire > arch_->ni_queue_bytes) {
+    // Send queue full: the NI interrupts the main processor and delays it
+    // until the queue drains; we model the delay by blocking the poster.
+    ++counters_->ni_queue_overflows;
+    send_space_->reset();
+    co_await send_space_->wait();
+  }
+  if (m.type == MsgType::kUpdate) {
+    ++counters_->updates_sent;
+    counters_->update_bytes += m.payload_bytes;
+  } else {
+    ++counters_->messages_sent;
+  }
+  send_q_bytes_ += wire;
+  send_q_.push_back(std::move(m));
+  send_items_.release();
+}
+
+engine::Task<void> Nic::tx_loop() {
+  for (;;) {
+    co_await send_items_.acquire();
+    assert(!send_q_.empty());
+    auto msg = std::make_shared<Message>(std::move(send_q_.front()));
+    send_q_.pop_front();
+
+    const std::uint64_t wire = wire_bytes(*msg);
+    std::uint64_t remaining = wire;
+    while (remaining > 0) {
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(remaining, arch_->mtu_payload_bytes);
+      remaining -= chunk;
+      const std::uint64_t pkt_bytes = chunk + arch_->packet_header_bytes;
+
+      // NI firmware prepares the packet, then DMAs it out of host memory.
+      co_await ni_tx_.serve(comm_->ni_occupancy);
+      co_await iobus_.dma(pkt_bytes);
+      co_await membus_->transaction(memsys::BusMaster::kNIOut, pkt_bytes);
+
+      ++counters_->packets_sent;
+      counters_->bytes_sent += pkt_bytes;
+
+      Packet p;
+      p.src = self_;
+      p.dst = msg->dst;
+      p.nic_index = index_;
+      p.bytes = pkt_bytes;
+      p.last = remaining == 0;
+      p.msg = msg;
+      network_->transmit(std::move(p));
+    }
+    send_q_bytes_ -= wire;
+    send_space_->fire();
+  }
+}
+
+void Nic::packet_arrived(Packet p) {
+  recv_q_bytes_ += p.bytes;
+  if (recv_q_bytes_ > arch_->ni_queue_bytes) ++counters_->ni_queue_overflows;
+  recv_q_.push_back(std::move(p));
+  recv_items_.release();
+}
+
+engine::Task<void> Nic::rx_loop() {
+  for (;;) {
+    co_await recv_items_.acquire();
+    assert(!recv_q_.empty());
+    Packet p = std::move(recv_q_.front());
+    recv_q_.pop_front();
+
+    // Receive-side packet processing and DMA into host memory.
+    co_await ni_rx_.serve(comm_->ni_occupancy);
+    co_await iobus_.dma(p.bytes);
+    co_await membus_->transaction(memsys::BusMaster::kNIIn, p.bytes);
+    recv_q_bytes_ -= p.bytes;
+
+    if (!p.last) continue;
+    Message msg = std::move(*p.msg);
+    if (msg.type == MsgType::kUpdate) {
+      if (on_update) on_update(msg);
+    } else if (on_message) {
+      on_message(std::move(msg));
+    }
+  }
+}
+
+void Network::transmit(Packet p) {
+  const auto serialization =
+      static_cast<Cycles>(static_cast<double>(p.bytes) /
+                          arch_->link_bytes_per_cycle);
+  const Cycles latency = arch_->wire_latency_cycles + serialization;
+  Nic* dst = nics_.at(static_cast<std::size_t>(p.dst))
+                 .at(static_cast<std::size_t>(p.nic_index));
+  sim_->queue().schedule_in(latency, [dst, p = std::move(p)]() mutable {
+    dst->packet_arrived(std::move(p));
+  });
+}
+
+}  // namespace svmsim::net

@@ -1,0 +1,128 @@
+// Programmable network interface (Myrinet-like), per node.
+//
+// Send path:   host posts a message descriptor into the NI send queue ->
+//              NI firmware fragments it into MTU packets, charging per-packet
+//              NI occupancy, then DMAs each packet over the I/O bus and the
+//              memory bus (NI-out priority) and pushes it onto the wire.
+// Receive path: each packet charges NI occupancy, then is DMA'd into host
+//              memory (I/O bus + memory bus at NI-in priority) without any
+//              interrupt; the messaging layer decides whether delivery of
+//              the completed message interrupts a processor.
+//
+// Each direction has its own processing engine (as on NIs with independent
+// send/receive DMA paths), each charging the per-packet NI occupancy — the
+// parameter of Figures 7/12. Within a direction, packets serialize.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "core/params.hpp"
+#include "core/stats.hpp"
+#include "engine/resource.hpp"
+#include "engine/simulator.hpp"
+#include "engine/task.hpp"
+#include "memsys/memory_bus.hpp"
+#include "net/io_bus.hpp"
+#include "net/message.hpp"
+
+namespace svmsim::net {
+
+class Network;
+
+struct Packet {
+  NodeId src = -1;
+  NodeId dst = -1;
+  int nic_index = 0;        ///< which of the destination node's NIs receives
+  std::uint64_t bytes = 0;  ///< wire size of this packet (payload + header)
+  bool last = false;        ///< final fragment of its message
+  std::shared_ptr<Message> msg;
+};
+
+class Nic {
+ public:
+  Nic(engine::Simulator& sim, const ArchParams& arch, const CommParams& comm,
+      NodeId self, int index, memsys::MemoryBus& membus, Counters& counters);
+
+  void attach(Network& network) { network_ = &network; }
+
+  /// Host/hardware side: enqueue a message for transmission. Suspends the
+  /// caller only if the send queue is out of space (queue overflow, which
+  /// the paper models as the NI interrupting and delaying the host).
+  engine::Task<void> post(Message m);
+
+  /// Called by the Network when a packet lands in the receive queue.
+  void packet_arrived(Packet p);
+
+  /// Full message arrived and DMA'd to host memory (set by messaging layer).
+  std::function<void(Message&&)> on_message;
+
+  /// AURC automatic update applied directly by the NI (set by the AURC
+  /// device); never interrupts the host.
+  std::function<void(const Message&)> on_update;
+
+  [[nodiscard]] NodeId id() const noexcept { return self_; }
+  [[nodiscard]] int index() const noexcept { return index_; }
+  [[nodiscard]] IoBus& io_bus() noexcept { return iobus_; }
+
+ private:
+  engine::Task<void> tx_loop();
+  engine::Task<void> rx_loop();
+  [[nodiscard]] std::uint64_t wire_bytes(const Message& m) const {
+    return arch_->message_header_bytes + m.payload_bytes;
+  }
+
+  engine::Simulator* sim_;
+  const ArchParams* arch_;
+  const CommParams* comm_;
+  NodeId self_;
+  int index_;
+  memsys::MemoryBus* membus_;
+  Counters* counters_;
+  Network* network_ = nullptr;
+
+  IoBus iobus_;
+  engine::Resource ni_tx_;  // send-side packet processing
+  engine::Resource ni_rx_;  // receive-side packet processing
+
+  std::deque<Message> send_q_;
+  std::uint64_t send_q_bytes_ = 0;
+  engine::Semaphore send_items_;
+  std::unique_ptr<engine::Trigger> send_space_;
+
+  std::deque<Packet> recv_q_;
+  std::uint64_t recv_q_bytes_ = 0;
+  engine::Semaphore recv_items_;
+};
+
+/// Crossbar network: constant-latency links at processor speed. Contention
+/// in links and switches is deliberately not modeled (paper §2).
+class Network {
+ public:
+  Network(engine::Simulator& sim, const ArchParams& arch)
+      : sim_(&sim), arch_(&arch) {}
+
+  /// Register node `node`'s NI number `nic.index()`. Nodes may have
+  /// several NIs; packets address (node, index).
+  void add_nic(Nic& nic) {
+    const auto n = static_cast<std::size_t>(nic.id());
+    if (nics_.size() <= n) nics_.resize(n + 1);
+    const auto k = static_cast<std::size_t>(nic.index());
+    if (nics_[n].size() <= k) nics_[n].resize(k + 1, nullptr);
+    nics_[n][k] = &nic;
+    nic.attach(*this);
+  }
+
+  /// Launch a packet: it arrives at the destination NI after the wire
+  /// latency plus serialization at link bandwidth.
+  void transmit(Packet p);
+
+ private:
+  engine::Simulator* sim_;
+  const ArchParams* arch_;
+  std::vector<std::vector<Nic*>> nics_;  // [node][nic index]
+};
+
+}  // namespace svmsim::net

@@ -1,0 +1,159 @@
+#include "svm/aurc.hpp"
+
+#include <any>
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+namespace svmsim::svm {
+
+using engine::Task;
+
+void AurcAgent::install() {
+  SvmAgent::install();
+  comm_->set_on_update([this](const net::Message& m) { apply_update(m); });
+}
+
+Task<void> AurcAgent::arm_write(Processor& p, PageId page, PageCopy& c) {
+  (void)p;
+  if (home_of(page) != self_) c.au_active = true;  // snooping device armed
+  co_return;
+}
+
+void AurcAgent::on_store(Processor& p, PageId page, PageCopy& c,
+                         std::uint32_t offset, std::uint32_t len) {
+  (void)p;
+  if (!c.au_active) return;
+  homes_touched_.insert(home_of(page));
+  Run& r = runs_[page];
+  const std::uint32_t max_run = cfg_->arch.mtu_payload_bytes - 16;
+  if (r.active && offset == r.end && (r.end + len - r.start) <= max_run) {
+    r.end += len;
+    return;
+  }
+  if (r.active) emit_run(page, r);
+  r.start = offset;
+  r.end = offset + len;
+  r.active = true;
+}
+
+void AurcAgent::emit_run(PageId page, Run& run) {
+  PageCopy& c = space_->copy(self_, page);
+  const std::uint32_t len = run.end - run.start;
+  auto data = std::make_shared<std::vector<std::byte>>(
+      c.data.begin() + run.start, c.data.begin() + run.start + len);
+  net::Message m;
+  m.type = net::MsgType::kUpdate;
+  m.src = self_;
+  m.dst = home_of(page);
+  m.page = page;
+  m.offset = run.start;
+  m.payload_bytes = 16 + len;
+  m.body = std::move(data);
+  run.active = false;
+  // The AU device posts straight into the NI (the pairwise one, keeping
+  // update order per home): no host processor involvement.
+  engine::spawn(comm_->nic_for(m.dst).post(std::move(m)));
+}
+
+void AurcAgent::apply_update(const net::Message& m) {
+  const auto& data =
+      *std::any_cast<const std::shared_ptr<std::vector<std::byte>>&>(m.body);
+  auto home = space_->home_data(m.page);
+  assert(m.offset + data.size() <= home.size());
+  std::memcpy(home.data() + m.offset, data.data(), data.size());
+  if (invalidate_caches) {
+    invalidate_caches(m.page * space_->page_bytes() + m.offset, data.size());
+  }
+}
+
+Task<void> AurcAgent::sync_homes(Processor& p,
+                                 const std::unordered_set<NodeId>& homes) {
+  std::vector<std::uint64_t> ids;
+  for (NodeId h : homes) {
+    if (h == self_) continue;
+    net::Message m;
+    m.type = net::MsgType::kUpdateMarker;
+    m.dst = h;
+    m.payload_bytes = 16;
+    co_await p.drain();
+    ids.push_back(comm_->rpc_post(m));
+    // Marker is injected by the AU hardware behind the update stream; the
+    // processor pays no host overhead.
+    co_await comm_->send(std::move(m));
+  }
+  if (ids.empty()) co_return;
+  const Cycles t0 = co_await p.wait_begin();
+  for (std::uint64_t id : ids) {
+    co_await comm_->await_reply(id);
+  }
+  p.wait_end(TimeCat::kProtocol, t0);
+}
+
+Task<void> AurcAgent::propagate_dirty(Processor& p,
+                                      const std::vector<PageId>& pages) {
+  for (auto& [page, run] : runs_) {
+    if (run.active) emit_run(page, run);
+  }
+  runs_.clear();
+
+  std::vector<PageId> in_flight;
+  std::unordered_set<PageId> seen;
+  for (PageId page : pages) {
+    if (!seen.insert(page).second) continue;  // dirty list can hold dups
+    PageCopy& c = space_->copy(self_, page);
+    // See HlrcAgent::propagate_dirty: wait for in-flight flushes first.
+    co_await wait_page_flush(p, page);
+    if (!c.dirty) continue;
+    c.dirty = false;
+    c.au_active = false;
+    c.state = PageState::kReadOnly;  // re-arm write detection
+    if (home_of(page) != self_) {
+      begin_page_flush(page);
+      in_flight.push_back(page);
+    }
+  }
+
+  std::unordered_set<NodeId> homes = std::move(homes_touched_);
+  homes_touched_.clear();
+  co_await sync_homes(p, homes);
+  for (PageId page : in_flight) end_page_flush(page);
+}
+
+Task<void> AurcAgent::flush_page_for_invalidation(Processor& p, PageId page,
+                                                  PageCopy& c) {
+  co_await wait_page_flush(p, page);
+  if (!c.dirty) co_return;
+  c.dirty = false;
+  c.au_active = false;
+  // Demote immediately: a write racing the marker ack must fault so it
+  // re-arms the AU device instead of being silently dropped.
+  c.state = PageState::kReadOnly;
+  auto it = runs_.find(page);
+  if (it != runs_.end()) {
+    if (it->second.active) emit_run(page, it->second);
+    runs_.erase(it);
+  }
+  const NodeId h = home_of(page);
+  if (h == self_) co_return;
+  begin_page_flush(page);
+  std::unordered_set<NodeId> homes{h};
+  co_await sync_homes(p, homes);
+  end_page_flush(page);
+}
+
+void AurcAgent::handle_direct(net::Message&& m) {
+  if (m.type == net::MsgType::kUpdateMarker) {
+    // The home NI acknowledges once every preceding update is applied (the
+    // receive path is FIFO, so this point implies application). No host cost.
+    net::Message ack;
+    ack.type = net::MsgType::kUpdateMarkerAck;
+    ack.payload_bytes = 8;
+    engine::spawn(comm_->reply(m, std::move(ack)));
+    return;
+  }
+  SvmAgent::handle_direct(std::move(m));
+}
+
+}  // namespace svmsim::svm

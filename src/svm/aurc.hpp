@@ -1,0 +1,58 @@
+// Automatic Update Release Consistency (AURC).
+//
+// Instead of twins and diffs, a snooping device on the memory bus captures
+// writes to shared pages whose home is remote and streams them to the home
+// through the NI ("automatic update" hardware, as on SHRIMP). Consecutive
+// writes to adjacent addresses coalesce into one update packet; scattered
+// writes produce many small packets — which is why AURC is far more
+// sensitive to NI occupancy than HLRC (Figure 12). Updates and the release
+// marker are handled entirely by the NI at the home: no host overhead, no
+// interrupts.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "svm/hlrc.hpp"
+
+namespace svmsim::svm {
+
+class AurcAgent final : public SvmAgent {
+ public:
+  using SvmAgent::SvmAgent;
+
+  void install() override;
+
+ protected:
+  engine::Task<void> arm_write(Processor& p, PageId page,
+                               PageCopy& c) override;
+  void on_store(Processor& p, PageId page, PageCopy& c, std::uint32_t offset,
+                std::uint32_t len) override;
+  engine::Task<void> propagate_dirty(Processor& p,
+                                     const std::vector<PageId>& pages) override;
+  engine::Task<void> flush_page_for_invalidation(Processor& p, PageId page,
+                                                 PageCopy& c) override;
+  void handle_direct(net::Message&& m) override;
+
+ private:
+  /// An open coalescing run of the automatic-update hardware.
+  struct Run {
+    std::uint32_t start = 0;
+    std::uint32_t end = 0;
+    bool active = false;
+  };
+
+  /// Emit the run as a kUpdate message (hardware: no host overhead).
+  void emit_run(PageId page, Run& run);
+  /// Flush open runs (optionally only for `page`) and send release markers
+  /// to every home touched since the last flush, waiting for their acks.
+  engine::Task<void> sync_homes(Processor& p,
+                                const std::unordered_set<NodeId>& homes);
+  void apply_update(const net::Message& m);
+
+  std::unordered_map<PageId, Run> runs_;
+  std::unordered_set<NodeId> homes_touched_;
+};
+
+}  // namespace svmsim::svm

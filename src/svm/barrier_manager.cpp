@@ -1,0 +1,4 @@
+#include "svm/barrier_manager.hpp"
+
+// Header-only rendezvous state; the barrier protocol itself is in hlrc.cpp.
+namespace svmsim::svm {}

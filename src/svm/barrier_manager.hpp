@@ -1,0 +1,47 @@
+// Global barrier rendezvous state for the hierarchical barrier (paper §2):
+// processors synchronize inside their SMP node through hardware first; the
+// last arriver becomes the node representative, flushes, and exchanges
+// synchronous messages (no interrupts) with the manager node.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/simulator.hpp"
+#include "net/message.hpp"
+#include "svm/vclock.hpp"
+
+namespace svmsim::svm {
+
+class BarrierHub {
+ public:
+  BarrierHub(engine::Simulator& sim, int nodes)
+      : sim_(&sim), nodes_(nodes), arrivals_sem_(sim, 0) {}
+
+  [[nodiscard]] int nodes() const noexcept { return nodes_; }
+  [[nodiscard]] NodeId manager() const noexcept { return 0; }
+
+  /// Called at the manager node when a kBarrierArrive message lands.
+  void arrive(net::Message&& m) {
+    arrivals_.push_back(std::move(m));
+    arrivals_sem_.release();
+  }
+
+  /// Manager rep: wait for the other `nodes-1` arrivals.
+  engine::Task<std::vector<net::Message>> collect() {
+    for (int i = 0; i < nodes_ - 1; ++i) {
+      co_await arrivals_sem_.acquire();
+    }
+    std::vector<net::Message> out = std::move(arrivals_);
+    arrivals_.clear();
+    co_return out;
+  }
+
+ private:
+  engine::Simulator* sim_;
+  int nodes_;
+  engine::Semaphore arrivals_sem_;
+  std::vector<net::Message> arrivals_;
+};
+
+}  // namespace svmsim::svm

@@ -1,0 +1,73 @@
+#include "svm/diff.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace svmsim::svm {
+
+std::uint64_t PageDiff::modified_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& r : runs) n += r.bytes.size();
+  return n;
+}
+
+std::uint64_t PageDiff::wire_bytes() const {
+  return 16 + 8 * runs.size() + modified_bytes();
+}
+
+PageDiff compute_diff(PageId page, std::span<const std::byte> current,
+                      std::span<const std::byte> twin) {
+  assert(current.size() == twin.size());
+  assert(current.size() % kDiffWordBytes == 0);
+
+  PageDiff d;
+  d.page = page;
+  const std::size_t words = current.size() / kDiffWordBytes;
+  std::size_t run_start = 0;
+  bool in_run = false;
+  for (std::size_t w = 0; w <= words; ++w) {
+    const bool differs =
+        w < words &&
+        std::memcmp(current.data() + w * kDiffWordBytes,
+                    twin.data() + w * kDiffWordBytes, kDiffWordBytes) != 0;
+    if (differs && !in_run) {
+      run_start = w;
+      in_run = true;
+    } else if (!differs && in_run) {
+      DiffRun run;
+      run.offset = static_cast<std::uint32_t>(run_start * kDiffWordBytes);
+      const std::size_t len = (w - run_start) * kDiffWordBytes;
+      run.bytes.assign(current.begin() + run.offset,
+                       current.begin() + run.offset + len);
+      d.runs.push_back(std::move(run));
+      in_run = false;
+    }
+  }
+  return d;
+}
+
+void apply_diff(std::span<std::byte> target, const PageDiff& diff) {
+  for (const auto& r : diff.runs) {
+    assert(r.offset + r.bytes.size() <= target.size());
+    std::memcpy(target.data() + r.offset, r.bytes.data(), r.bytes.size());
+  }
+}
+
+Cycles diff_cycles(const ArchParams& arch, std::uint64_t words_compared,
+                   std::uint64_t words_included) {
+  return arch.diff_compare_cycles_per_word * words_compared +
+         arch.diff_include_cycles_per_word * words_included;
+}
+
+Cycles diff_create_cycles(const ArchParams& arch, const PageDiff& diff,
+                          std::uint32_t page_bytes) {
+  return diff_cycles(arch, page_bytes / kDiffWordBytes,
+                     diff.modified_bytes() / kDiffWordBytes);
+}
+
+Cycles diff_apply_cycles(const ArchParams& arch, const PageDiff& diff) {
+  const std::uint64_t words = diff.modified_bytes() / kDiffWordBytes;
+  return diff_cycles(arch, words, words);
+}
+
+}  // namespace svmsim::svm

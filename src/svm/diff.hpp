@@ -1,0 +1,59 @@
+// Software diffs (HLRC): word-granularity comparison of a dirty page against
+// its twin, producing runs of modified bytes that the home merges. Diffs
+// carry real data, so protocol correctness is testable end to end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/params.hpp"
+#include "engine/types.hpp"
+
+namespace svmsim::svm {
+
+using PageId = std::uint64_t;
+
+inline constexpr std::uint32_t kDiffWordBytes = 4;
+
+struct DiffRun {
+  std::uint32_t offset = 0;  ///< byte offset within the page
+  std::vector<std::byte> bytes;
+};
+
+struct PageDiff {
+  PageId page = 0;
+  std::vector<DiffRun> runs;
+
+  [[nodiscard]] std::uint64_t modified_bytes() const;
+  /// Size on the wire: 16-byte page header + 8-byte run headers + data.
+  [[nodiscard]] std::uint64_t wire_bytes() const;
+  [[nodiscard]] bool empty() const noexcept { return runs.empty(); }
+};
+
+/// Compare `current` against `twin` (same length, multiple of the word size)
+/// and collect the modified runs.
+[[nodiscard]] PageDiff compute_diff(PageId page,
+                                    std::span<const std::byte> current,
+                                    std::span<const std::byte> twin);
+
+/// Merge a diff into `target` (the home copy).
+void apply_diff(std::span<std::byte> target, const PageDiff& diff);
+
+/// Handler cost of creating *or* applying a diff (paper §2): a fixed cost
+/// per word compared plus an extra cost per word actually included.
+[[nodiscard]] Cycles diff_cycles(const ArchParams& arch,
+                                 std::uint64_t words_compared,
+                                 std::uint64_t words_included);
+
+/// Cost of creating this diff over a `page_bytes` page.
+[[nodiscard]] Cycles diff_create_cycles(const ArchParams& arch,
+                                        const PageDiff& diff,
+                                        std::uint32_t page_bytes);
+
+/// Cost of applying this diff at the home (only included words touched).
+[[nodiscard]] Cycles diff_apply_cycles(const ArchParams& arch,
+                                       const PageDiff& diff);
+
+}  // namespace svmsim::svm

@@ -1,0 +1,919 @@
+#include "svm/hlrc.hpp"
+
+#include <any>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+
+namespace svmsim::svm {
+
+namespace {
+
+/// Protocol event tracing for debugging: set SVMSIM_TRACE=<page-id> to log
+/// every protocol action touching that page.
+long trace_page() {
+  static const long page = [] {
+    const char* env = std::getenv("SVMSIM_TRACE");
+    return env ? std::atol(env) : -1;
+  }();
+  return page;
+}
+
+bool trace_flush() {
+  static const bool on = std::getenv("SVMSIM_TRACE_FLUSH") != nullptr;
+  return on;
+}
+
+long trace_lock() {
+  static const long lock = [] {
+    const char* env = std::getenv("SVMSIM_TRACE_LOCK");
+    return env ? std::atol(env) : -1;
+  }();
+  return lock;
+}
+
+#define SVMSIM_TRACE_LK(lock, fmt, ...)                                      \
+  do {                                                                       \
+    if (static_cast<long>(lock) == trace_lock()) {                           \
+      std::fprintf(stderr, "[t=%8llu node=%d lk=%d] " fmt "\n",             \
+                   static_cast<unsigned long long>(sim_->now()), self_,      \
+                   static_cast<int>(lock), ##__VA_ARGS__);                   \
+    }                                                                        \
+  } while (0)
+
+#define SVMSIM_TRACE_EVT(page, fmt, ...)                                     \
+  do {                                                                       \
+    if (static_cast<long>(page) == trace_page()) {                           \
+      std::fprintf(stderr, "[t=%8llu node=%d pg=%llu] " fmt "\n",            \
+                   static_cast<unsigned long long>(sim_->now()), self_,      \
+                   static_cast<unsigned long long>(page), ##__VA_ARGS__);    \
+    }                                                                        \
+  } while (0)
+
+using engine::Task;
+
+/// Wire size of a page install/copy in handler time (paper §2 models page
+/// copies as a per-KB software cost).
+Cycles install_cycles(const ArchParams& arch, std::uint32_t page_bytes) {
+  return arch.page_install_cycles_per_kb * (page_bytes / 1024 + 1);
+}
+
+}  // namespace
+
+SvmAgent::SvmAgent(engine::Simulator& sim, const SimConfig& cfg, NodeId self,
+                   int procs_on_node, AddressSpace& space, SharedState& shared,
+                   net::NodeComm& comm, Counters& counters)
+    : sim_(&sim),
+      cfg_(&cfg),
+      self_(self),
+      procs_on_node_(procs_on_node),
+      space_(&space),
+      shared_(&shared),
+      comm_(&comm),
+      counters_(&counters),
+      vc_(space.nodes()),
+      node_flush_done_(std::make_shared<engine::Trigger>(sim)),
+      barrier_done_(std::make_shared<engine::Trigger>(sim)),
+      barrier_release_(std::make_unique<engine::Trigger>(sim)) {}
+
+void SvmAgent::install() {
+  comm_->request_handler = [this](net::Message m) -> Task<void> {
+    return handle_request(std::move(m));
+  };
+  comm_->direct_handler = [this](net::Message&& m) {
+    handle_direct(std::move(m));
+  };
+}
+
+void SvmAgent::dump_lock_state() const {
+  std::fprintf(stderr,
+               "  node %d: barrier_arrived=%d/%d node_flushing=%d "
+               "pending_fetch=%zu pending_flush=%zu vc=%s\n",
+               self_, barrier_arrived_, procs_on_node_, (int)node_flushing_,
+               pending_fetch_.size(), pending_flush_.size(),
+               vc_.to_string().c_str());
+  for (const auto& [lock, lp] : lock_proxies_) {
+    if (!lp.token && !lp.held && !lp.remote_pending && !lp.recall_pending &&
+        lp.waiters.empty()) {
+      continue;
+    }
+    const LockHomeState& s = shared_->locks.state(lock);
+    std::fprintf(stderr,
+                 "  node %d lock %d: token=%d held=%d remote_pending=%d "
+                 "recall_pending=%d local_waiters=%zu | home: owner=%d "
+                 "recall_sent=%d queue=%zu\n",
+                 self_, lock, (int)lp.token, (int)lp.held,
+                 (int)lp.remote_pending, (int)lp.recall_pending,
+                 lp.waiters.size(), s.owner, (int)s.recall_sent,
+                 s.waiters.size());
+  }
+}
+
+NodeId SvmAgent::home_of(PageId page) {
+  const NodeId h = space_->home_of(page);
+  return h >= 0 ? h : space_->assign_home(page, self_);
+}
+
+// ---------------------------------------------------------------------------
+// Page access
+// ---------------------------------------------------------------------------
+
+Task<PageCopy*> SvmAgent::ensure_valid(Processor& p, PageId page,
+                                       bool for_write) {
+  const NodeId h = home_of(page);
+  PageCopy& c = space_->copy(self_, page);
+  bool counted_fault = false;
+  for (;;) {
+    if (c.state == PageState::kReadOnly || c.state == PageState::kReadWrite) {
+      co_return &c;
+    }
+    if (!counted_fault) {
+      counted_fault = true;
+      ++counters_->page_faults;
+      if (for_write) {
+        ++counters_->write_faults;
+      } else {
+        ++counters_->read_faults;
+      }
+      p.charge(TimeCat::kProtocol,
+               cfg_->arch.fault_trap_cycles + cfg_->arch.tlb_access_cycles);
+    }
+    if (c.state == PageState::kUnmapped && h == self_) {
+      c.state = PageState::kReadOnly;  // home pages map without protocol
+      co_return &c;
+    }
+    if (c.fetching) {
+      // Another processor of this node already requested the page; wait for
+      // its fetch instead of issuing a duplicate (fault coalescing). Hold a
+      // reference: the trigger outlives the map entry.
+      auto t = pending_fetch_.at(page);
+      const Cycles t0 = co_await p.wait_begin();
+      co_await t->wait();
+      p.wait_end(TimeCat::kDataWait, t0);
+      continue;  // re-check the state (fetch may have raced an invalidation)
+    }
+    co_await fetch_page(p, page, c);
+  }
+}
+
+Task<PageCopy*> SvmAgent::readable(Processor& p, PageId page) {
+  return ensure_valid(p, page, /*for_write=*/false);
+}
+
+Task<PageCopy*> SvmAgent::writable(Processor& p, PageId page) {
+  PageCopy& c = space_->copy(self_, page);
+  if (c.state == PageState::kReadWrite) co_return &c;
+  const bool was_valid = c.state == PageState::kReadOnly;
+  PageCopy* vc = co_await ensure_valid(p, page, /*for_write=*/true);
+  if (vc->state == PageState::kReadWrite) co_return vc;  // raced a co-writer
+  if (was_valid) {
+    // Pure write-protection fault on a valid page (write detection).
+    ++counters_->page_faults;
+    ++counters_->write_faults;
+    p.charge(TimeCat::kProtocol,
+             cfg_->arch.fault_trap_cycles + cfg_->arch.tlb_access_cycles);
+  }
+  co_await arm_write(p, page, *vc);  // twin (HLRC) / AU mapping (AURC)
+  mark_dirty(page, *vc);
+  vc->state = PageState::kReadWrite;
+  co_return vc;
+}
+
+Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
+  ++counters_->page_fetches;
+  const NodeId h = home_of(page);
+  const std::uint32_t pb = space_->page_bytes();
+
+  if (cfg_->disable_remote_fetches) {
+    // Guided simulation (paper §6): pretend the fetch is free/local.
+    auto home = space_->home_data(page);
+    std::memcpy(c.data.data(), home.data(), pb);
+    if (invalidate_caches) invalidate_caches(page * pb, pb);
+    c.state = PageState::kReadOnly;
+    co_return;
+  }
+
+  SVMSIM_TRACE_EVT(page, "fetch issued (gen=%u)", c.inval_gen);
+  c.fetching = true;
+  auto [it, inserted] =
+      pending_fetch_.try_emplace(page, std::make_shared<engine::Trigger>(*sim_));
+  assert(inserted && "duplicate fetch for a page");
+  (void)it;
+  const std::uint32_t gen_at_start = c.inval_gen;
+
+  net::Message m;
+  m.type = net::MsgType::kPageRequest;
+  m.dst = h;
+  m.page = page;
+  m.payload_bytes = 16;
+  charge_send(p);
+  co_await p.drain();
+  const std::uint64_t id = comm_->rpc_post(m);
+  co_await comm_->send(std::move(m));
+  const Cycles t0 = sim_->now();
+  net::Message rep = co_await comm_->await_reply(id);
+  p.wait_end(TimeCat::kDataWait, t0);
+
+  const auto& data =
+      *std::any_cast<const std::shared_ptr<std::vector<std::byte>>&>(rep.body);
+  assert(data.size() == pb);
+  std::memcpy(c.data.data(), data.data(), pb);
+  SVMSIM_TRACE_EVT(page, "fetch installed (gen %u -> %u) word0=%d",
+                   gen_at_start, c.inval_gen,
+                   *reinterpret_cast<const int*>(c.data.data()));
+  p.charge(TimeCat::kProtocol, install_cycles(cfg_->arch, pb));
+  if (invalidate_caches) invalidate_caches(page * pb, pb);
+
+  // If a write notice invalidated this page while the fetch was in flight,
+  // the copy may already be stale: leave it invalid and let the access
+  // retry; otherwise map it read-only.
+  c.state = c.inval_gen == gen_at_start ? PageState::kReadOnly
+                                        : PageState::kInvalid;
+  c.fetching = false;
+  auto node = pending_fetch_.extract(page);
+  node.mapped()->fire();
+}
+
+void SvmAgent::begin_page_flush(PageId page) {
+  PageCopy& c = space_->copy(self_, page);
+  if (trace_flush()) {
+    std::fprintf(stderr, "[n=%d] begin_page_flush pg=%llu (was %d)\n", self_,
+                 (unsigned long long)page, (int)c.flushing);
+  }
+  assert(!c.flushing && "overlapping flushes of one page");
+  c.flushing = true;
+  pending_flush_.try_emplace(page,
+                             std::make_shared<engine::Trigger>(*sim_));
+}
+
+void SvmAgent::end_page_flush(PageId page) {
+  if (trace_flush()) {
+    std::fprintf(stderr, "[n=%d] end_page_flush pg=%llu\n", self_,
+                 (unsigned long long)page);
+  }
+  space_->copy(self_, page).flushing = false;
+  auto node = pending_flush_.extract(page);
+  if (!node.empty()) node.mapped()->fire();
+}
+
+engine::Task<void> SvmAgent::wait_page_flush(Processor& p, PageId page) {
+  while (space_->copy(self_, page).flushing) {
+    if (trace_flush()) {
+      std::fprintf(stderr, "[t=%llu n=%d p=%d] wait_page_flush pg=%llu\n",
+                   (unsigned long long)sim_->now(), self_, p.id(),
+                   (unsigned long long)page);
+    }
+    auto t = pending_flush_.at(page);
+    const Cycles t0 = co_await p.wait_begin();
+    co_await t->wait();
+    p.wait_end(TimeCat::kProtocol, t0);
+  }
+}
+
+void SvmAgent::mark_dirty(PageId page, PageCopy& c) {
+  if (c.dirty) return;
+  c.dirty = true;
+  dirty_pages_.push_back(page);
+  interval_pages_.push_back(page);
+}
+
+Task<void> SvmAgent::read(Processor& p, GlobalAddr addr, void* dst,
+                          std::uint64_t bytes) {
+  auto* out = static_cast<std::byte*>(dst);
+  const std::uint32_t pb = space_->page_bytes();
+  const std::uint32_t lb = p.mem().line_bytes();
+  while (bytes > 0) {
+    const PageId page = space_->page_of(addr);
+    const std::uint32_t off = space_->offset_of(addr);
+    const std::uint64_t chunk = std::min<std::uint64_t>(bytes, pb - off);
+    PageCopy* c = co_await readable(p, page);
+    if (out != nullptr) {
+      std::memcpy(out, c->data.data() + off, chunk);
+      out += chunk;
+    }
+    // Timing: one access per cache line touched.
+    const std::uint64_t first_line = addr / lb;
+    const std::uint64_t last_line = (addr + chunk - 1) / lb;
+    for (std::uint64_t ln = first_line; ln <= last_line; ++ln) {
+      const std::uint64_t line_addr = ln * lb;
+      if (auto hit = p.mem().read_line_fast(line_addr, p.local_now())) {
+        p.charge(TimeCat::kCompute, 1);
+        if (*hit > 1) p.charge(TimeCat::kMemStall, *hit - 1);
+      } else {
+        p.charge(TimeCat::kCompute, 1);
+        co_await p.drain();
+        const Cycles stall = co_await p.mem().read_line_slow(line_addr);
+        p.note(TimeCat::kMemStall, stall);
+      }
+    }
+    addr += chunk;
+    bytes -= chunk;
+  }
+}
+
+Task<void> SvmAgent::write(Processor& p, GlobalAddr addr, const void* src,
+                           std::uint64_t bytes) {
+  const auto* in = static_cast<const std::byte*>(src);
+  const std::uint32_t pb = space_->page_bytes();
+  const std::uint32_t lb = p.mem().line_bytes();
+  while (bytes > 0) {
+    const PageId page = space_->page_of(addr);
+    const std::uint32_t off = space_->offset_of(addr);
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(bytes, pb - off));
+    PageCopy* c = co_await writable(p, page);
+    if (in != nullptr) {
+      std::memcpy(c->data.data() + off, in, chunk);
+      in += chunk;
+    }
+    on_store(p, page, *c, off, chunk);
+    const std::uint64_t first_line = addr / lb;
+    const std::uint64_t last_line = (addr + chunk - 1) / lb;
+    for (std::uint64_t ln = first_line; ln <= last_line; ++ln) {
+      const auto cost = p.mem().write_line(ln * lb, p.local_now());
+      p.charge(TimeCat::kCompute, cost.issue);
+      if (cost.wb_stall > 0) p.charge(TimeCat::kWriteBufStall, cost.wb_stall);
+    }
+    addr += chunk;
+    bytes -= chunk;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Release-time flush and acquire-time invalidation
+// ---------------------------------------------------------------------------
+
+Task<void> SvmAgent::flush(Processor& p) {
+  // Serialize release flushes within the node: if another processor's flush
+  // is in progress it may be carrying *our* critical-section writes, and a
+  // release is only complete once those are at their homes and the interval
+  // is recorded. Without this wait, a lock token could leave the node ahead
+  // of the data it protects.
+  while (node_flushing_) {
+    if (trace_flush()) {
+      std::fprintf(stderr, "[t=%llu n=%d p=%d] flush: wait node_flushing\n",
+                   (unsigned long long)sim_->now(), self_, p.id());
+    }
+    // Hold a reference: the flusher replaces the trigger when it finishes.
+    auto t = node_flush_done_;
+    const Cycles t0 = co_await p.wait_begin();
+    co_await t->wait();
+    p.wait_end(TimeCat::kProtocol, t0);
+  }
+  if (interval_pages_.empty()) co_return;
+
+  if (trace_flush()) {
+    std::fprintf(stderr, "[t=%llu n=%d p=%d] flush: start (%zu pages)\n",
+                 (unsigned long long)sim_->now(), self_, p.id(),
+                 interval_pages_.size());
+  }
+  node_flushing_ = true;
+  std::vector<PageId> to_propagate = std::move(dirty_pages_);
+  dirty_pages_.clear();
+  std::vector<PageId> interval = std::move(interval_pages_);
+  interval_pages_.clear();
+
+  co_await propagate_dirty(p, to_propagate);
+
+  const std::uint32_t idx = vc_.advance(self_);
+  shared_->dir.record_interval(self_, idx, std::move(interval));
+
+  if (trace_flush()) {
+    std::fprintf(stderr, "[t=%llu n=%d p=%d] flush: done\n",
+                 (unsigned long long)sim_->now(), self_, p.id());
+  }
+  node_flushing_ = false;
+  auto done = std::move(node_flush_done_);
+  node_flush_done_ = std::make_shared<engine::Trigger>(*sim_);
+  done->fire();
+}
+
+Task<void> SvmAgent::apply_invalidations(Processor& p, const VClock& target) {
+  if (vc_.covers(target)) co_return;
+
+  std::unordered_set<PageId> pages;
+  const std::uint64_t notices = shared_->dir.collect_notices(
+      vc_, target, [&](PageId page, NodeId writer) {
+        if (writer != self_) pages.insert(page);
+      });
+  counters_->write_notices += notices;
+  p.charge(TimeCat::kProtocol, notices * cfg_->arch.write_notice_cycles);
+
+  const std::uint32_t pb = space_->page_bytes();
+  for (PageId page : pages) {
+    if (home_of(page) == self_) continue;  // the home is always up to date
+    if (!space_->has_copy(self_, page)) continue;
+    PageCopy& c = space_->copy(self_, page);
+    ++c.inval_gen;  // makes racing in-flight fetches install as invalid
+    // If this node's own diff/updates for the page are still in flight, a
+    // refetch could miss them; wait for the home's ack first.
+    co_await wait_page_flush(p, page);
+    if (c.state == PageState::kUnmapped || c.state == PageState::kInvalid) {
+      continue;
+    }
+    while (c.dirty) {
+      // False sharing: we are mid-interval on this page; push our own
+      // modifications home before dropping the copy. Writes can race the
+      // flush (another processor of this node mid-critical-section), so
+      // repeat until the page stays clean.
+      co_await flush_page_for_invalidation(p, page, c);
+    }
+    SVMSIM_TRACE_EVT(page, "invalidated (state was %d)",
+                     static_cast<int>(c.state));
+    c.state = PageState::kInvalid;
+    c.twin.reset();
+    c.au_active = false;
+    ++counters_->invalidations;
+    p.charge(TimeCat::kProtocol, cfg_->arch.tlb_access_cycles);
+    if (invalidate_caches) invalidate_caches(page * pb, pb);
+  }
+  vc_.merge(target);
+}
+
+// ---------------------------------------------------------------------------
+// Locks
+// ---------------------------------------------------------------------------
+
+SvmAgent::LockProxy& SvmAgent::proxy(int lock) {
+  auto [it, inserted] = lock_proxies_.try_emplace(lock);
+  if (inserted) {
+    // The home owns an untouched lock's token.
+    it->second.token = shared_->locks.ensure_owner(lock).owner == self_;
+  }
+  return it->second;
+}
+
+void SvmAgent::wake_one_waiter(LockProxy& lp) {
+  if (lp.waiters.empty()) return;
+  engine::Trigger* t = lp.waiters.front();
+  lp.waiters.pop_front();
+  t->fire();
+}
+
+Task<void> SvmAgent::acquire_lock(Processor& p, int lock) {
+  LockProxy& lp = proxy(lock);
+  p.charge(TimeCat::kProtocol, cfg_->arch.smp_lock_cycles);
+
+  for (;;) {
+    if (!lp.held && !lp.remote_pending) {
+      if (lp.token && !lp.recall_pending) {
+        // Node holds the free token: hardware lock, no messages.
+        lp.held = true;
+        ++counters_->local_lock_acquires;
+        SVMSIM_TRACE_LK(lock, "local acquire");
+        co_return;
+      }
+      if (lp.token && lp.recall_pending) {
+        // The home recalled the token while it sat here free: hand it back
+        // first, then queue remotely like everyone else.
+        lp.recall_pending = false;
+        lp.token = false;
+        co_await send_token_return(lock, &p);
+      }
+      // Fetch the token from the lock's home.
+      lp.remote_pending = true;
+      ++counters_->remote_lock_acquires;
+      net::Message m;
+      m.type = net::MsgType::kLockAcquire;
+      m.dst = shared_->locks.home_of(lock);
+      m.lock_id = lock;
+      m.payload_bytes = vclock_wire_bytes();
+      m.body = vc_;
+      charge_send(p);
+      co_await p.drain();
+      const std::uint64_t id = comm_->rpc_post(m);
+      co_await comm_->send(std::move(m));
+      const Cycles t0 = sim_->now();
+      net::Message grant = co_await comm_->await_reply(id);
+      p.wait_end(TimeCat::kLockWait, t0);
+      lp.remote_pending = false;
+      lp.token = true;
+      lp.held = true;
+      SVMSIM_TRACE_LK(lock, "remote acquire granted");
+      const auto& lvc = std::any_cast<const VClock&>(grant.body);
+      co_await apply_invalidations(p, lvc);
+      co_return;
+    }
+    // Queue behind local activity on this lock.
+    engine::Trigger t(*sim_);
+    lp.waiters.push_back(&t);
+    const Cycles t0 = co_await p.wait_begin();
+    co_await t.wait();
+    p.wait_end(TimeCat::kLockWait, t0);
+  }
+}
+
+Task<void> SvmAgent::release_lock(Processor& p, int lock) {
+  // Release consistency: modifications must reach the homes before anyone
+  // can acquire this lock and see the write notices.
+  co_await flush(p);
+
+  LockProxy& lp = proxy(lock);
+  SVMSIM_TRACE_LK(lock, "release (recall_pending=%d waiters=%zu)",
+                  (int)lp.recall_pending, lp.waiters.size());
+  assert(lp.held && "release of a lock this node does not hold");
+  shared_->locks.state(lock).vc = vc_;
+  p.charge(TimeCat::kProtocol, cfg_->arch.smp_lock_cycles);
+  lp.held = false;
+
+  if (lp.recall_pending) {
+    lp.recall_pending = false;
+    lp.token = false;
+    co_await send_token_return(lock, &p);
+  }
+  wake_one_waiter(lp);
+}
+
+Task<void> SvmAgent::send_token_return(int lock, Processor* p) {
+  const NodeId home = shared_->locks.home_of(lock);
+  if (p != nullptr) {
+    charge_send(*p);
+    co_await p->drain();
+  } else {
+    co_await sim_->delay(cfg_->comm.host_overhead);
+  }
+  if (home == self_) {
+    // Token is already at its home node: process the return locally.
+    net::Message local;
+    local.lock_id = lock;
+    co_await handle_token_return(std::move(local));
+    co_return;
+  }
+  net::Message m;
+  m.type = net::MsgType::kTokenReturn;
+  m.dst = home;
+  m.lock_id = lock;
+  m.payload_bytes = vclock_wire_bytes();
+  m.body = vc_;
+  // Remember which lock this return is for at the home side.
+  co_await comm_->send(std::move(m));
+}
+
+// ---------------------------------------------------------------------------
+// Barrier (hierarchical: hardware inside the node, messages across nodes)
+// ---------------------------------------------------------------------------
+
+Task<void> SvmAgent::barrier(Processor& p) {
+  ++counters_->barriers;
+  p.charge(TimeCat::kProtocol, cfg_->arch.smp_barrier_cycles);
+
+  if (++barrier_arrived_ < procs_on_node_) {
+    // Hold a reference: the representative replaces the trigger when it
+    // completes the episode, possibly while we are still draining.
+    auto episode = barrier_done_;
+    const Cycles t0 = co_await p.wait_begin();
+    co_await episode->wait();
+    p.wait_end(TimeCat::kBarrierWait, t0);
+    co_return;
+  }
+
+  // Last arriver: node representative.
+  barrier_arrived_ = 0;
+  co_await flush(p);
+
+  if (self_ == shared_->hub.manager()) {
+    const Cycles t0 = co_await p.wait_begin();
+    std::vector<net::Message> arrivals = co_await shared_->hub.collect();
+    p.wait_end(TimeCat::kBarrierWait, t0);
+
+    VClock merged = vc_;
+    for (const auto& a : arrivals) {
+      merged.merge(std::any_cast<const VClock&>(a.body));
+    }
+    for (const auto& a : arrivals) {
+      const auto& their_vc = std::any_cast<const VClock&>(a.body);
+      const std::uint64_t notices =
+          shared_->dir.count_notices(their_vc, merged);
+      net::Message rel;
+      rel.type = net::MsgType::kBarrierRelease;
+      rel.dst = a.src;
+      rel.payload_bytes = vclock_wire_bytes() + 8 * notices;
+      rel.body = merged;
+      charge_send(p);
+      co_await p.drain();
+      co_await comm_->send(std::move(rel));
+    }
+    co_await apply_invalidations(p, merged);
+  } else {
+    barrier_release_->reset();
+    net::Message arr;
+    arr.type = net::MsgType::kBarrierArrive;
+    arr.dst = shared_->hub.manager();
+    arr.payload_bytes = vclock_wire_bytes();
+    arr.body = vc_;
+    charge_send(p);
+    co_await p.drain();
+    co_await comm_->send(std::move(arr));
+
+    const Cycles t0 = co_await p.wait_begin();
+    co_await barrier_release_->wait();
+    p.wait_end(TimeCat::kBarrierWait, t0);
+    const auto& merged =
+        std::any_cast<const VClock&>(barrier_release_msg_.body);
+    co_await apply_invalidations(p, merged);
+  }
+
+  // Release the node's processors into the next episode.
+  auto finished = std::move(barrier_done_);
+  barrier_done_ = std::make_shared<engine::Trigger>(*sim_);
+  finished->fire();
+}
+
+// ---------------------------------------------------------------------------
+// Incoming request handlers (interrupt context on a victim processor)
+// ---------------------------------------------------------------------------
+
+Task<void> SvmAgent::handle_request(net::Message m) {
+  switch (m.type) {
+    case net::MsgType::kPageRequest:
+      co_await handle_page_request(std::move(m));
+      break;
+    case net::MsgType::kDiffBatch:
+      co_await handle_diff_batch(std::move(m));
+      break;
+    case net::MsgType::kLockAcquire:
+      co_await handle_lock_acquire(std::move(m));
+      break;
+    case net::MsgType::kLockRecall:
+      co_await handle_lock_recall(std::move(m));
+      break;
+    case net::MsgType::kTokenReturn:
+      co_await handle_token_return(std::move(m));
+      break;
+    default:
+      assert(false && "unexpected request type");
+  }
+}
+
+void SvmAgent::handle_direct(net::Message&& m) {
+  switch (m.type) {
+    case net::MsgType::kBarrierArrive:
+      assert(self_ == shared_->hub.manager());
+      shared_->hub.arrive(std::move(m));
+      break;
+    case net::MsgType::kBarrierRelease:
+      barrier_release_msg_ = std::move(m);
+      barrier_release_->fire();
+      break;
+    default:
+      assert(false && "unexpected direct message");
+  }
+}
+
+Task<void> SvmAgent::handle_page_request(net::Message m) {
+  const std::uint32_t pb = space_->page_bytes();
+  co_await sim_->delay(cfg_->arch.tlb_access_cycles +
+                       install_cycles(cfg_->arch, pb));
+  auto home = space_->home_data(m.page);
+  auto data =
+      std::make_shared<std::vector<std::byte>>(home.begin(), home.end());
+  SVMSIM_TRACE_EVT(m.page, "page reply snapshot for node %d word0=%d", m.src,
+                   *reinterpret_cast<const int*>(data->data()));
+  co_await sim_->delay(cfg_->comm.host_overhead);
+  net::Message rep;
+  rep.type = net::MsgType::kPageReply;
+  rep.page = m.page;
+  rep.payload_bytes = pb;
+  rep.body = std::move(data);
+  co_await comm_->reply(m, std::move(rep));
+}
+
+Task<void> SvmAgent::handle_diff_batch(net::Message m) {
+  const auto& diffs =
+      *std::any_cast<const std::shared_ptr<std::vector<PageDiff>>&>(m.body);
+  const std::uint32_t pb = space_->page_bytes();
+  Cycles cost = 0;
+  for (const PageDiff& d : diffs) {
+    apply_diff(space_->home_data(d.page), d);
+    SVMSIM_TRACE_EVT(d.page, "diff applied at home from node %d (%llu bytes)",
+                     m.src, static_cast<unsigned long long>(d.modified_bytes()));
+    cost += cfg_->arch.tlb_access_cycles + diff_apply_cycles(cfg_->arch, d);
+    if (invalidate_caches) invalidate_caches(d.page * pb, pb);
+  }
+  co_await sim_->delay(cost + cfg_->comm.host_overhead);
+  net::Message rep;
+  rep.type = net::MsgType::kDiffAck;
+  rep.payload_bytes = 8;
+  co_await comm_->reply(m, std::move(rep));
+}
+
+Task<void> SvmAgent::grant_lock(net::Message req) {
+  LockHomeState& s = shared_->locks.state(req.lock_id);
+  SVMSIM_TRACE_LK(req.lock_id, "grant to node %d (waiters=%zu)", req.src,
+                  s.waiters.size());
+  s.owner = req.src;
+  s.recall_sent = false;
+  const auto& their_vc = std::any_cast<const VClock&>(req.body);
+  const std::uint64_t notices = shared_->dir.count_notices(their_vc, s.vc);
+  co_await sim_->delay(cfg_->comm.host_overhead);
+  net::Message g;
+  g.type = net::MsgType::kLockGrant;
+  g.lock_id = req.lock_id;
+  g.payload_bytes = vclock_wire_bytes() + 8 * notices;
+  g.body = s.vc;
+  co_await comm_->reply(req, std::move(g));
+  // Pipeline the next handoff if more requesters are queued.
+  if (!s.waiters.empty() && !s.recall_sent) {
+    s.recall_sent = true;
+    if (s.owner == self_) {
+      proxy(req.lock_id).recall_pending = true;
+    } else {
+      co_await sim_->delay(cfg_->comm.host_overhead);
+      net::Message rec;
+      rec.type = net::MsgType::kLockRecall;
+      rec.dst = s.owner;
+      rec.lock_id = req.lock_id;
+      rec.payload_bytes = 16;
+      co_await comm_->send(std::move(rec));
+    }
+  }
+}
+
+Task<void> SvmAgent::handle_lock_acquire(net::Message m) {
+  const int lock = m.lock_id;
+  LockHomeState& s = shared_->locks.ensure_owner(lock);
+  if (s.owner == self_) {
+    LockProxy& lp = proxy(lock);
+    SVMSIM_TRACE_LK(lock, "acquire request from node %d (owner=self)", m.src);
+    if (lp.token && !lp.held && !lp.remote_pending && lp.waiters.empty() &&
+        !lp.recall_pending) {
+      lp.token = false;
+      co_await grant_lock(std::move(m));
+      co_return;
+    }
+    // Busy here at home: queue the request; our own release will hand over.
+    lp.recall_pending = true;
+    s.recall_sent = true;
+    s.waiters.push_back(std::move(m));
+    co_return;
+  }
+  SVMSIM_TRACE_LK(lock, "acquire request from node %d queued (owner=%d)",
+                  m.src, s.owner);
+  s.waiters.push_back(std::move(m));
+  if (!s.recall_sent) {
+    s.recall_sent = true;
+    co_await sim_->delay(cfg_->comm.host_overhead);
+    net::Message rec;
+    rec.type = net::MsgType::kLockRecall;
+    rec.dst = s.owner;
+    rec.lock_id = lock;
+    rec.payload_bytes = 16;
+    co_await comm_->send(std::move(rec));
+  }
+}
+
+Task<void> SvmAgent::handle_lock_recall(net::Message m) {
+  LockProxy& lp = proxy(m.lock_id);
+  SVMSIM_TRACE_LK(m.lock_id, "recall received (held=%d token=%d)",
+                  (int)lp.held, (int)lp.token);
+  if (lp.token && !lp.held && !lp.remote_pending) {
+    // Token is free: return it now, even if local processors are queued —
+    // leaving it cached with nobody holding it would strand the token
+    // (no release will ever trigger the handoff). Queued locals re-acquire
+    // through the home like everyone else.
+    lp.token = false;
+    co_await send_token_return(m.lock_id, nullptr);
+    wake_one_waiter(lp);
+    co_return;
+  }
+  // Busy (or the recall overtook our grant): give it back at release time.
+  lp.recall_pending = true;
+}
+
+Task<void> SvmAgent::handle_token_return(net::Message m) {
+  const int lock = m.lock_id;
+  SVMSIM_TRACE_LK(lock, "token returned");
+  assert(lock >= 0);
+  LockHomeState& s = shared_->locks.ensure_owner(lock);
+  s.recall_sent = false;
+  if (!s.waiters.empty()) {
+    net::Message req = std::move(s.waiters.front());
+    s.waiters.pop_front();
+    co_await grant_lock(std::move(req));
+    co_return;
+  }
+  s.owner = self_;
+  proxy(lock).token = true;
+}
+
+// ---------------------------------------------------------------------------
+// HLRC specialization
+// ---------------------------------------------------------------------------
+
+Task<void> HlrcAgent::arm_write(Processor& p, PageId page, PageCopy& c) {
+  (void)page;
+  if (home_of(page) == self_) co_return;  // home writes need no twin
+  if (c.twin) co_return;
+  c.twin = std::make_unique<std::vector<std::byte>>(c.data);
+  ++counters_->twins_created;
+  p.charge(TimeCat::kProtocol,
+           install_cycles(cfg_->arch, space_->page_bytes()));
+}
+
+void HlrcAgent::on_store(Processor&, PageId, PageCopy&, std::uint32_t,
+                         std::uint32_t) {}
+
+PageDiff HlrcAgent::make_diff(Processor& p, PageId page, PageCopy& c) {
+  assert(c.twin && "diffing a page without a twin");
+  PageDiff d = compute_diff(page, c.data, *c.twin);
+  SVMSIM_TRACE_EVT(page, "diff created (%llu bytes modified)",
+                   static_cast<unsigned long long>(d.modified_bytes()));
+  p.charge(TimeCat::kProtocol,
+           diff_create_cycles(cfg_->arch, d, space_->page_bytes()));
+  ++counters_->diffs_created;
+  counters_->diff_bytes += d.wire_bytes();
+  c.twin.reset();
+  return d;
+}
+
+Task<void> HlrcAgent::propagate_dirty(Processor& p,
+                                      const std::vector<PageId>& pages) {
+  std::unordered_map<NodeId, std::shared_ptr<std::vector<PageDiff>>> batches;
+  std::unordered_map<NodeId, std::uint64_t> batch_bytes;
+  std::vector<PageId> in_flight;
+  std::unordered_set<PageId> seen;
+
+  for (PageId page : pages) {
+    // The dirty list can hold duplicates (a page flushed early by an
+    // invalidation and then re-dirtied); processing one twice would wait on
+    // this very batch's own in-flight flush.
+    if (!seen.insert(page).second) continue;
+    PageCopy& c = space_->copy(self_, page);
+    // Always serialize behind an in-flight flush of this page first: a
+    // concurrent flush_page_for_invalidation may be carrying *this
+    // release's* writes, and the release is not complete until they are
+    // acked at the home. Only then decide whether anything is left to send.
+    co_await wait_page_flush(p, page);
+    if (!c.dirty) continue;  // flushed early by an invalidation
+    c.dirty = false;
+    const NodeId h = home_of(page);
+    if (h == self_) {
+      c.state = PageState::kReadOnly;  // re-arm write detection at home
+      continue;
+    }
+    PageDiff d = make_diff(p, page, c);
+    c.state = PageState::kReadOnly;
+    if (d.empty()) continue;
+    begin_page_flush(page);
+    in_flight.push_back(page);
+    auto& batch = batches[h];
+    if (!batch) batch = std::make_shared<std::vector<PageDiff>>();
+    batch_bytes[h] += d.wire_bytes();
+    batch->push_back(std::move(d));
+  }
+
+  std::vector<std::uint64_t> ids;
+  for (auto& [h, batch] : batches) {
+    net::Message m;
+    m.type = net::MsgType::kDiffBatch;
+    m.dst = h;
+    m.payload_bytes = 16 + batch_bytes[h];
+    m.body = batch;
+    charge_send(p);
+    co_await p.drain();
+    ids.push_back(comm_->rpc_post(m));
+    co_await comm_->send(std::move(m));
+  }
+  if (!ids.empty()) {
+    const Cycles t0 = co_await p.wait_begin();
+    for (std::uint64_t id : ids) {
+      co_await comm_->await_reply(id);
+    }
+    p.wait_end(TimeCat::kProtocol, t0);
+  }
+  for (PageId page : in_flight) end_page_flush(page);
+}
+
+Task<void> HlrcAgent::flush_page_for_invalidation(Processor& p, PageId page,
+                                                  PageCopy& c) {
+  co_await wait_page_flush(p, page);
+  if (!c.dirty) co_return;
+  c.dirty = false;
+  PageDiff d = make_diff(p, page, c);
+  // Demote immediately: a write racing the ack below must fault so it gets
+  // a fresh twin and is not silently dropped by the coming invalidation.
+  c.state = PageState::kReadOnly;
+  if (d.empty()) co_return;
+  begin_page_flush(page);
+  auto batch = std::make_shared<std::vector<PageDiff>>();
+  const std::uint64_t wire = d.wire_bytes();
+  batch->push_back(std::move(d));
+  net::Message m;
+  m.type = net::MsgType::kDiffBatch;
+  m.dst = home_of(page);
+  m.payload_bytes = 16 + wire;
+  m.body = std::move(batch);
+  charge_send(p);
+  co_await p.drain();
+  const std::uint64_t id = comm_->rpc_post(m);
+  co_await comm_->send(std::move(m));
+  const Cycles t0 = sim_->now();
+  co_await comm_->await_reply(id);
+  p.wait_end(TimeCat::kProtocol, t0);
+  end_page_flush(page);
+}
+
+}  // namespace svmsim::svm

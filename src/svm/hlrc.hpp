@@ -1,0 +1,204 @@
+// SVM protocol agents.
+//
+// SvmAgent is the per-node protocol engine: it implements the application-
+// facing shared-memory operations (read/write/lock/unlock/barrier), the
+// page-fault path, LRC invalidations, the node-caching token locks and the
+// hierarchical barrier. The two concrete protocols of the paper specialize
+// write propagation:
+//
+//  * HlrcAgent — home-based lazy release consistency: a twin is created at
+//    the first write fault; at release, word-granularity diffs are computed
+//    and flushed to each page's home, which applies them (paper's HLRC).
+//  * AurcAgent (aurc.hpp) — automatic update release consistency: writes to
+//    remotely-homed pages are snooped and streamed to the home as automatic
+//    updates; no twins or diffs (paper's AURC).
+//
+// Consistency model: intervals are per-node (the node is the coherence
+// agent; processors inside an SMP node share pages through hardware), with
+// vector timestamps, eager home updates at releases, and invalidation at
+// acquires via write notices.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/processor.hpp"
+#include "core/stats.hpp"
+#include "engine/simulator.hpp"
+#include "engine/task.hpp"
+#include "net/messaging.hpp"
+#include "net/nic.hpp"
+#include "svm/address_space.hpp"
+#include "svm/barrier_manager.hpp"
+#include "svm/diff.hpp"
+#include "svm/lock_manager.hpp"
+#include "svm/page_directory.hpp"
+#include "svm/vclock.hpp"
+
+namespace svmsim::svm {
+
+/// Protocol state shared across all nodes of one machine (interval history,
+/// lock homes, barrier rendezvous).
+struct SharedState {
+  SharedState(engine::Simulator& sim, int nodes, int max_locks)
+      : dir(nodes), locks(nodes, max_locks), hub(sim, nodes) {}
+
+  PageDirectory dir;
+  LockDirectory locks;
+  BarrierHub hub;
+};
+
+class SvmAgent {
+ public:
+  SvmAgent(engine::Simulator& sim, const SimConfig& cfg, NodeId self,
+           int procs_on_node, AddressSpace& space, SharedState& shared,
+           net::NodeComm& comm, Counters& counters);
+  virtual ~SvmAgent() = default;
+
+  SvmAgent(const SvmAgent&) = delete;
+  SvmAgent& operator=(const SvmAgent&) = delete;
+
+  /// Wire this agent into its node's messaging layer. Called once by the
+  /// Machine after construction.
+  virtual void install();
+
+  // ---- application-facing operations (called through apps::Shm) ----
+  engine::Task<void> read(Processor& p, GlobalAddr addr, void* dst,
+                          std::uint64_t bytes);
+  engine::Task<void> write(Processor& p, GlobalAddr addr, const void* src,
+                           std::uint64_t bytes);
+  engine::Task<void> acquire_lock(Processor& p, int lock);
+  engine::Task<void> release_lock(Processor& p, int lock);
+  engine::Task<void> barrier(Processor& p);
+
+  /// Set by the node: drops stale cached lines on all its processors.
+  std::function<void(GlobalAddr, std::uint64_t)> invalidate_caches;
+
+  [[nodiscard]] NodeId id() const noexcept { return self_; }
+  [[nodiscard]] const VClock& vclock() const noexcept { return vc_; }
+
+  /// Deadlock diagnostics: dump this node's lock-proxy state to stderr.
+  void dump_lock_state() const;
+
+ protected:
+  struct LockProxy {
+    bool token = false;
+    bool held = false;
+    bool remote_pending = false;  ///< a remote acquire is in flight
+    bool recall_pending = false;  ///< home wants the token back
+    std::deque<engine::Trigger*> waiters;  // local processors queued
+  };
+
+  // Page access paths.
+  engine::Task<PageCopy*> ensure_valid(Processor& p, PageId page,
+                                       bool for_write);
+  engine::Task<PageCopy*> readable(Processor& p, PageId page);
+  engine::Task<PageCopy*> writable(Processor& p, PageId page);
+  engine::Task<void> fetch_page(Processor& p, PageId page, PageCopy& c);
+  void mark_dirty(PageId page, PageCopy& c);
+
+  // Release-time propagation (protocol-specific).
+  virtual engine::Task<void> arm_write(Processor& p, PageId page,
+                                       PageCopy& c) = 0;
+  virtual void on_store(Processor& p, PageId page, PageCopy& c,
+                        std::uint32_t offset, std::uint32_t len) = 0;
+  /// Propagate all dirty pages to their homes and close the interval.
+  engine::Task<void> flush(Processor& p);
+  virtual engine::Task<void> propagate_dirty(Processor& p,
+                                             const std::vector<PageId>& pages) = 0;
+  /// Flush one concurrently-dirty page before invalidating it.
+  virtual engine::Task<void> flush_page_for_invalidation(Processor& p,
+                                                         PageId page,
+                                                         PageCopy& c) = 0;
+
+  // Acquire-time invalidations.
+  engine::Task<void> apply_invalidations(Processor& p, const VClock& target);
+
+  // Incoming request handlers (interrupt context).
+  engine::Task<void> handle_request(net::Message m);
+  virtual void handle_direct(net::Message&& m);
+  engine::Task<void> handle_page_request(net::Message m);
+  engine::Task<void> handle_diff_batch(net::Message m);
+  engine::Task<void> handle_lock_acquire(net::Message m);
+  engine::Task<void> handle_lock_recall(net::Message m);
+  engine::Task<void> handle_token_return(net::Message m);
+
+  // Lock helpers.
+  LockProxy& proxy(int lock);
+  engine::Task<void> grant_lock(net::Message req);
+  /// Return the token to the lock's home. `p` is the application processor
+  /// when called from a release; nullptr when called from a handler.
+  engine::Task<void> send_token_return(int lock, Processor* p);
+  void wake_one_waiter(LockProxy& lp);
+
+  // Helpers.
+  [[nodiscard]] NodeId home_of(PageId page);
+  [[nodiscard]] std::uint64_t vclock_wire_bytes() const {
+    return 16 + 4 * static_cast<std::uint64_t>(space_->nodes());
+  }
+  /// Charge host overhead for posting a message from application context.
+  void charge_send(Processor& p) {
+    p.charge(TimeCat::kProtocol, cfg_->comm.host_overhead);
+  }
+
+  engine::Simulator* sim_;
+  const SimConfig* cfg_;
+  NodeId self_;
+  int procs_on_node_;
+  AddressSpace* space_;
+  SharedState* shared_;
+  net::NodeComm* comm_;
+  Counters* counters_;
+
+  VClock vc_;
+  std::vector<PageId> dirty_pages_;     ///< need propagation at next flush
+  std::vector<PageId> interval_pages_;  ///< all pages dirtied this interval
+  bool node_flushing_ = false;          ///< a release flush is in progress
+  // shared_ptr: waiters capture the episode's trigger before suspending and
+  // must keep it alive across the flush/barrier completing under them.
+  std::shared_ptr<engine::Trigger> node_flush_done_;
+  std::unordered_map<int, LockProxy> lock_proxies_;
+  /// Fault coalescing: in-flight fetches, one trigger per page.
+  std::unordered_map<PageId, std::shared_ptr<engine::Trigger>> pending_fetch_;
+  /// In-flight release flushes, one trigger per page. An invalidation of a
+  /// page whose diff/updates are still in flight to the home must wait for
+  /// the ack: refetching earlier could resurrect a home copy that misses
+  /// this node's own flushed writes.
+  std::unordered_map<PageId, std::shared_ptr<engine::Trigger>> pending_flush_;
+
+  void begin_page_flush(PageId page);
+  void end_page_flush(PageId page);
+  engine::Task<void> wait_page_flush(Processor& p, PageId page);
+
+  // Hierarchical-barrier state (one episode at a time).
+  int barrier_arrived_ = 0;
+  std::shared_ptr<engine::Trigger> barrier_done_;
+  std::unique_ptr<engine::Trigger> barrier_release_;
+  net::Message barrier_release_msg_;
+};
+
+class HlrcAgent final : public SvmAgent {
+ public:
+  using SvmAgent::SvmAgent;
+
+ protected:
+  engine::Task<void> arm_write(Processor& p, PageId page,
+                               PageCopy& c) override;
+  void on_store(Processor& p, PageId page, PageCopy& c, std::uint32_t offset,
+                std::uint32_t len) override;
+  engine::Task<void> propagate_dirty(Processor& p,
+                                     const std::vector<PageId>& pages) override;
+  engine::Task<void> flush_page_for_invalidation(Processor& p, PageId page,
+                                                 PageCopy& c) override;
+
+ private:
+  /// Diff one dirty page against its twin and reset its write detection.
+  PageDiff make_diff(Processor& p, PageId page, PageCopy& c);
+};
+
+}  // namespace svmsim::svm

@@ -1,0 +1,4 @@
+#include "svm/lock_manager.hpp"
+
+// State-only component; the protocol logic lives in the agents (hlrc.cpp).
+namespace svmsim::svm {}

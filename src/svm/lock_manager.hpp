@@ -1,0 +1,63 @@
+// Home-based queue locks with node-level token caching.
+//
+// Every lock has a home node (id % nodes). The token (ownership) migrates
+// between nodes and is cached: a processor whose node holds the free token
+// acquires locally through hardware synchronization with no messages or
+// interrupts ("local lock acquire" in Table 2). Otherwise the node RPCs the
+// home, which recalls the token from its current owner and grants FIFO.
+//
+// The LockDirectory holds the home-side state; per-node proxy state lives in
+// the protocol agents. The per-lock release timestamp (`vc`) conceptually
+// travels with the token; keeping it here is a simulator shortcut that does
+// not change message counts or sizes (grants still carry it on the wire).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "engine/types.hpp"
+#include "net/message.hpp"
+#include "svm/vclock.hpp"
+
+namespace svmsim::svm {
+
+struct LockHomeState {
+  NodeId owner = -1;        ///< node currently holding the token
+  bool recall_sent = false; ///< a recall to `owner` is outstanding
+  std::deque<net::Message> waiters;  ///< queued kLockAcquire requests
+  VClock vc;                ///< timestamp of the lock's last release
+};
+
+class LockDirectory {
+ public:
+  LockDirectory(int nodes, int max_locks)
+      : nodes_(nodes),
+        locks_(static_cast<std::size_t>(max_locks)) {
+    for (auto& l : locks_) {
+      l.vc = VClock(nodes);
+    }
+  }
+
+  [[nodiscard]] int max_locks() const noexcept {
+    return static_cast<int>(locks_.size());
+  }
+  [[nodiscard]] NodeId home_of(int lock) const { return lock % nodes_; }
+
+  [[nodiscard]] LockHomeState& state(int lock) {
+    return locks_[static_cast<std::size_t>(lock)];
+  }
+
+  /// Initialize token ownership lazily: the home owns an untouched token.
+  LockHomeState& ensure_owner(int lock) {
+    auto& s = state(lock);
+    if (s.owner < 0) s.owner = home_of(lock);
+    return s;
+  }
+
+ private:
+  int nodes_;
+  std::vector<LockHomeState> locks_;
+};
+
+}  // namespace svmsim::svm

@@ -1,0 +1,45 @@
+#include "svm/page_directory.hpp"
+
+#include <cassert>
+
+namespace svmsim::svm {
+
+void PageDirectory::record_interval(NodeId n, std::uint32_t index,
+                                    std::vector<PageId> pages) {
+  auto& h = hist_[static_cast<std::size_t>(n)];
+  assert(index == h.size() + 1 && "intervals must be recorded in order");
+  (void)index;
+  h.push_back(std::move(pages));
+}
+
+std::uint64_t PageDirectory::collect_notices(
+    const VClock& have, const VClock& target,
+    const std::function<void(PageId, NodeId)>& fn) const {
+  std::uint64_t count = 0;
+  for (NodeId n = 0; n < nodes(); ++n) {
+    const auto& h = hist_[static_cast<std::size_t>(n)];
+    const std::uint32_t from = have.get(n);
+    const std::uint32_t to = target.get(n);
+    for (std::uint32_t i = from; i < to; ++i) {
+      for (PageId p : h[i]) {
+        fn(p, n);
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::uint64_t PageDirectory::count_notices(const VClock& have,
+                                           const VClock& target) const {
+  std::uint64_t count = 0;
+  for (NodeId n = 0; n < nodes(); ++n) {
+    const auto& h = hist_[static_cast<std::size_t>(n)];
+    for (std::uint32_t i = have.get(n); i < target.get(n); ++i) {
+      count += h[i].size();
+    }
+  }
+  return count;
+}
+
+}  // namespace svmsim::svm

@@ -1,0 +1,54 @@
+// Global LRC interval history: which pages each node dirtied in each of its
+// intervals. Write notices for a lock grant or barrier release are "the
+// intervals the acquirer has not seen yet".
+//
+// In a real HLRC system this history is distributed and piggybacked on lock
+// grants; we keep it in one shared structure (a simulator shortcut — the
+// *messages* still carry the notices' size on the wire, and invalidations
+// are applied exactly where the protocol would apply them).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "engine/types.hpp"
+#include "svm/diff.hpp"
+#include "svm/vclock.hpp"
+
+namespace svmsim::svm {
+
+class PageDirectory {
+ public:
+  explicit PageDirectory(int nodes)
+      : hist_(static_cast<std::size_t>(nodes)) {}
+
+  [[nodiscard]] int nodes() const noexcept {
+    return static_cast<int>(hist_.size());
+  }
+
+  /// Record node `n`'s interval `index` (1-based, must be the next one).
+  void record_interval(NodeId n, std::uint32_t index,
+                       std::vector<PageId> pages);
+
+  /// For every interval covered by `target` but not by `have`, invoke
+  /// `fn(page, writer_node)` for each dirtied page. Returns the number of
+  /// notices (for wire sizing: 8 bytes each).
+  std::uint64_t collect_notices(
+      const VClock& have, const VClock& target,
+      const std::function<void(PageId, NodeId)>& fn) const;
+
+  /// Number of notices without visiting them (message sizing).
+  [[nodiscard]] std::uint64_t count_notices(const VClock& have,
+                                            const VClock& target) const;
+
+  [[nodiscard]] std::uint32_t intervals_of(NodeId n) const {
+    return static_cast<std::uint32_t>(hist_[static_cast<std::size_t>(n)].size());
+  }
+
+ private:
+  // hist_[node][interval-1] = pages dirtied in that interval.
+  std::vector<std::vector<std::vector<PageId>>> hist_;
+};
+
+}  // namespace svmsim::svm

@@ -1,0 +1,35 @@
+#include "svm/vclock.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace svmsim::svm {
+
+bool VClock::covers(const VClock& o) const {
+  assert(v_.size() == o.v_.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] < o.v_[i]) return false;
+  }
+  return true;
+}
+
+void VClock::merge(const VClock& o) {
+  assert(v_.size() == o.v_.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    v_[i] = std::max(v_[i], o.v_[i]);
+  }
+}
+
+std::string VClock::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (i) os << ' ';
+    os << v_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace svmsim::svm

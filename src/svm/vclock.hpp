@@ -1,0 +1,47 @@
+// Vector timestamps over node intervals, the partial order of lazy release
+// consistency. Entry `v[n]` is the index of the latest interval of node `n`
+// whose write notices this node has applied.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/types.hpp"
+
+namespace svmsim::svm {
+
+class VClock {
+ public:
+  VClock() = default;
+  explicit VClock(int nodes) : v_(static_cast<std::size_t>(nodes), 0) {}
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(v_.size()); }
+
+  [[nodiscard]] std::uint32_t get(NodeId n) const {
+    return v_[static_cast<std::size_t>(n)];
+  }
+  void set(NodeId n, std::uint32_t val) {
+    v_[static_cast<std::size_t>(n)] = val;
+  }
+  std::uint32_t advance(NodeId n) { return ++v_[static_cast<std::size_t>(n)]; }
+
+  /// True if this clock has seen interval `interval` of node `n`.
+  [[nodiscard]] bool covers(NodeId n, std::uint32_t interval) const {
+    return get(n) >= interval;
+  }
+  /// True if this clock dominates `o` component-wise.
+  [[nodiscard]] bool covers(const VClock& o) const;
+
+  /// Component-wise maximum.
+  void merge(const VClock& o);
+
+  [[nodiscard]] bool operator==(const VClock& o) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::uint32_t> v_;
+};
+
+}  // namespace svmsim::svm

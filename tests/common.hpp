@@ -1,0 +1,64 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "apps/app.hpp"
+#include "core/machine.hpp"
+#include "core/params.hpp"
+#include "core/runner.hpp"
+#include "engine/task.hpp"
+
+namespace svmsim::test {
+
+/// A Workload assembled from lambdas, for protocol-level integration tests.
+class LambdaWorkload : public Workload {
+ public:
+  using SetupFn = std::function<void(Machine&)>;
+  using BodyFn = std::function<engine::Task<void>(Machine&, ProcId)>;
+  using ValidateFn = std::function<bool(Machine&)>;
+
+  LambdaWorkload(std::string name, SetupFn setup, BodyFn body,
+                 ValidateFn validate = nullptr)
+      : name_(std::move(name)),
+        setup_(std::move(setup)),
+        body_(std::move(body)),
+        validate_(std::move(validate)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void setup(Machine& m) override {
+    if (setup_) setup_(m);
+  }
+  engine::Task<void> body(Machine& m, ProcId pid) override {
+    return body_(m, pid);
+  }
+  bool validate(Machine& m) override {
+    return validate_ ? validate_(m) : true;
+  }
+
+ private:
+  std::string name_;
+  SetupFn setup_;
+  BodyFn body_;
+  ValidateFn validate_;
+};
+
+/// A 16-processor, 4-per-node config at the paper's achievable point.
+inline SimConfig achievable_config() {
+  SimConfig cfg;
+  cfg.comm = CommParams::achievable();
+  return cfg;
+}
+
+inline SimConfig config_with(int total_procs, int procs_per_node,
+                             Protocol proto = Protocol::kHLRC) {
+  SimConfig cfg = achievable_config();
+  cfg.comm.total_procs = total_procs;
+  cfg.comm.procs_per_node = procs_per_node;
+  cfg.comm.protocol = proto;
+  return cfg;
+}
+
+}  // namespace svmsim::test

@@ -1,0 +1,98 @@
+// Hierarchical barrier tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common.hpp"
+
+namespace svmsim::test {
+namespace {
+
+using apps::Shm;
+
+TEST(Barrier, NoProcessorPassesEarly) {
+  SimConfig cfg = config_with(16, 4);
+  constexpr int kRounds = 10;
+  std::vector<int> arrived(kRounds, 0);
+  bool ok = true;
+
+  LambdaWorkload w(
+      "barrier-phases", nullptr,
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        Shm shm(m, pid);
+        apps::Rng rng(static_cast<std::uint64_t>(pid) * 7 + 1);
+        for (int r = 0; r < kRounds; ++r) {
+          shm.compute(rng.below(5000));  // skewed arrivals
+          ++arrived[static_cast<std::size_t>(r)];
+          co_await shm.barrier();
+          // After the barrier, every processor must have arrived at round r.
+          if (arrived[static_cast<std::size_t>(r)] != 16) ok = false;
+        }
+      });
+  auto r = run(w, cfg);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(r.validated);
+  // 10 explicit + 1 final runner barrier, per processor.
+  EXPECT_EQ(r.stats.counters().barriers, 16u * 11u);
+}
+
+TEST(Barrier, WorksWithUniprocessorNodes) {
+  SimConfig cfg = config_with(4, 1);
+  int rounds_done = 0;
+  LambdaWorkload w(
+      "barrier-uni", nullptr,
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        Shm shm(m, pid);
+        for (int r = 0; r < 5; ++r) {
+          co_await shm.barrier();
+          if (pid == 0) ++rounds_done;
+        }
+      });
+  auto r = run(w, cfg);
+  EXPECT_EQ(rounds_done, 5);
+  EXPECT_TRUE(r.validated);
+}
+
+TEST(Barrier, SingleNodeUsesNoMessages) {
+  SimConfig cfg = config_with(4, 4);
+  LambdaWorkload w(
+      "barrier-smp", nullptr,
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        Shm shm(m, pid);
+        for (int r = 0; r < 5; ++r) co_await shm.barrier();
+      });
+  auto r = run(w, cfg);
+  EXPECT_EQ(r.stats.counters().messages_sent, 0u);
+  EXPECT_EQ(r.stats.counters().interrupts, 0u);
+}
+
+TEST(Barrier, CrossNodeBarrierUsesSynchronousMessagesWithoutInterrupts) {
+  SimConfig cfg = config_with(8, 2);  // 4 nodes
+  LambdaWorkload w(
+      "barrier-msgs", nullptr,
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        Shm shm(m, pid);
+        co_await shm.barrier();
+      });
+  auto r = run(w, cfg);
+  // Two barriers total (explicit + runner): each costs (nodes-1) arrivals
+  // plus (nodes-1) releases.
+  EXPECT_EQ(r.stats.counters().messages_sent, 2u * 2u * 3u);
+  EXPECT_EQ(r.stats.counters().interrupts, 0u);  // paper: no barrier interrupts
+}
+
+TEST(Barrier, RapidBackToBackEpisodes) {
+  SimConfig cfg = config_with(16, 8);
+  LambdaWorkload w(
+      "barrier-burst", nullptr,
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        Shm shm(m, pid);
+        for (int r = 0; r < 50; ++r) co_await shm.barrier();
+      });
+  auto r = run(w, cfg);
+  EXPECT_TRUE(r.validated);
+  EXPECT_EQ(r.stats.counters().barriers, 16u * 51u);
+}
+
+}  // namespace
+}  // namespace svmsim::test

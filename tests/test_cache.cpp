@@ -1,0 +1,135 @@
+#include "memsys/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace svmsim::memsys {
+namespace {
+
+CacheParams small_dm{1024, 1, 64, 1};   // 16 sets, direct mapped
+CacheParams small_2w{1024, 2, 64, 8};   // 8 sets, 2-way
+
+TEST(Cache, MissThenHit) {
+  Cache c(small_dm);
+  EXPECT_FALSE(c.lookup(0));
+  c.fill(0, false);
+  EXPECT_TRUE(c.lookup(0));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, DirectMappedConflict) {
+  Cache c(small_dm);
+  c.fill(0, false);
+  // 16 sets x 64B lines: address 1024 maps to the same set as 0.
+  auto victim = c.fill(1024, false);
+  EXPECT_TRUE(victim.evicted);
+  EXPECT_EQ(victim.line_addr, 0u);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_TRUE(c.contains(1024));
+}
+
+TEST(Cache, TwoWayHoldsConflictPair) {
+  Cache c(small_2w);
+  c.fill(0, false);
+  auto victim = c.fill(512, false);  // 8 sets: same set as 0
+  EXPECT_FALSE(victim.evicted);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(512));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  Cache c(small_2w);
+  c.fill(0, false);
+  c.fill(512, false);
+  EXPECT_TRUE(c.lookup(0));  // touch 0: now 512 is LRU
+  auto victim = c.fill(1024, false);
+  EXPECT_TRUE(victim.evicted);
+  EXPECT_EQ(victim.line_addr, 512u);
+  EXPECT_TRUE(c.contains(0));
+}
+
+TEST(Cache, DirtyEvictionReported) {
+  Cache c(small_dm);
+  c.fill(0, /*dirty=*/true);
+  auto victim = c.fill(1024, false);
+  EXPECT_TRUE(victim.evicted);
+  EXPECT_TRUE(victim.dirty);
+}
+
+TEST(Cache, LookupCanMarkDirty) {
+  Cache c(small_dm);
+  c.fill(0, false);
+  c.lookup(0, /*mark_dirty=*/true);
+  auto victim = c.fill(1024, false);
+  EXPECT_TRUE(victim.dirty);
+}
+
+TEST(Cache, InvalidateRangeDropsOnlyCoveredLines) {
+  Cache c(small_2w);
+  c.fill(0, true);
+  c.fill(64, false);
+  c.fill(256, false);
+  c.invalidate_range(0, 128);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_FALSE(c.contains(64));
+  EXPECT_TRUE(c.contains(256));
+}
+
+TEST(Cache, InvalidatedDirtyLineDoesNotWriteBack) {
+  Cache c(small_dm);
+  c.fill(0, true);
+  c.invalidate_range(0, 64);
+  auto victim = c.fill(1024, false);
+  EXPECT_FALSE(victim.evicted);
+}
+
+// Property-style sweep: for any config, filling N distinct lines that map to
+// distinct sets keeps all of them resident.
+class CacheConfigTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CacheConfigTest, DistinctSetsDoNotConflict) {
+  auto [size_kb, assoc, line] = GetParam();
+  CacheParams p{static_cast<std::uint32_t>(size_kb * 1024),
+                static_cast<std::uint32_t>(assoc),
+                static_cast<std::uint32_t>(line), 1};
+  Cache c(p);
+  const std::uint32_t sets = c.sets();
+  for (std::uint32_t s = 0; s < sets; ++s) {
+    c.fill(static_cast<std::uint64_t>(s) * line, false);
+  }
+  for (std::uint32_t s = 0; s < sets; ++s) {
+    EXPECT_TRUE(c.contains(static_cast<std::uint64_t>(s) * line));
+  }
+}
+
+TEST_P(CacheConfigTest, AssociativityWaysFitInOneSet) {
+  auto [size_kb, assoc, line] = GetParam();
+  CacheParams p{static_cast<std::uint32_t>(size_kb * 1024),
+                static_cast<std::uint32_t>(assoc),
+                static_cast<std::uint32_t>(line), 1};
+  Cache c(p);
+  const std::uint64_t set_stride =
+      static_cast<std::uint64_t>(c.sets()) * line;
+  for (int w = 0; w < assoc; ++w) {
+    c.fill(static_cast<std::uint64_t>(w) * set_stride, false);
+  }
+  for (int w = 0; w < assoc; ++w) {
+    EXPECT_TRUE(c.contains(static_cast<std::uint64_t>(w) * set_stride));
+  }
+  // One more way evicts exactly one line.
+  auto victim = c.fill(static_cast<std::uint64_t>(assoc) * set_stride, false);
+  EXPECT_TRUE(victim.evicted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CacheConfigTest,
+    ::testing::Values(std::make_tuple(1, 1, 32), std::make_tuple(1, 2, 32),
+                      std::make_tuple(4, 2, 64), std::make_tuple(16, 1, 64),
+                      std::make_tuple(16, 4, 64), std::make_tuple(512, 2, 64),
+                      std::make_tuple(64, 8, 128)));
+
+}  // namespace
+}  // namespace svmsim::memsys

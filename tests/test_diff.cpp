@@ -1,0 +1,151 @@
+#include "svm/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "apps/app.hpp"  // Rng
+
+namespace svmsim::svm {
+namespace {
+
+std::vector<std::byte> make_page(std::size_t n, std::uint64_t seed) {
+  apps::Rng rng(seed);
+  std::vector<std::byte> v(n);
+  for (auto& b : v) b = static_cast<std::byte>(rng.next() & 0xff);
+  return v;
+}
+
+TEST(Diff, IdenticalPagesProduceEmptyDiff) {
+  auto page = make_page(1024, 1);
+  auto d = compute_diff(0, page, page);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.modified_bytes(), 0u);
+}
+
+TEST(Diff, SingleWordChange) {
+  auto twin = make_page(1024, 2);
+  auto cur = twin;
+  cur[100] = static_cast<std::byte>(~std::to_integer<int>(cur[100]));
+  auto d = compute_diff(7, cur, twin);
+  ASSERT_EQ(d.runs.size(), 1u);
+  EXPECT_EQ(d.page, 7u);
+  EXPECT_EQ(d.runs[0].offset, 100u - 100 % kDiffWordBytes);
+  EXPECT_EQ(d.modified_bytes(), kDiffWordBytes);
+}
+
+TEST(Diff, AdjacentChangesCoalesceIntoOneRun) {
+  auto twin = make_page(1024, 3);
+  auto cur = twin;
+  for (int i = 200; i < 232; ++i) cur[static_cast<std::size_t>(i)] ^= std::byte{0xff};
+  auto d = compute_diff(0, cur, twin);
+  ASSERT_EQ(d.runs.size(), 1u);
+  EXPECT_EQ(d.runs[0].offset, 200u);
+  EXPECT_EQ(d.modified_bytes(), 32u);
+}
+
+TEST(Diff, DisjointChangesProduceSeparateRuns) {
+  auto twin = make_page(1024, 4);
+  auto cur = twin;
+  cur[0] ^= std::byte{1};
+  cur[512] ^= std::byte{1};
+  cur[1020] ^= std::byte{1};
+  auto d = compute_diff(0, cur, twin);
+  EXPECT_EQ(d.runs.size(), 3u);
+}
+
+TEST(Diff, ApplyReconstructsModifiedPage) {
+  auto twin = make_page(2048, 5);
+  auto cur = twin;
+  for (int i : {0, 3, 64, 65, 66, 500, 2047}) {
+    cur[static_cast<std::size_t>(i)] ^= std::byte{0x5a};
+  }
+  auto d = compute_diff(0, cur, twin);
+  auto home = twin;  // home starts at the twin's value
+  apply_diff(home, d);
+  EXPECT_EQ(std::memcmp(home.data(), cur.data(), cur.size()), 0);
+}
+
+TEST(Diff, ConcurrentDisjointDiffsMergeAtHome) {
+  // The multiple-writer property HLRC depends on: two writers with disjoint
+  // word changes produce diffs that merge to the union.
+  auto base = make_page(1024, 6);
+  auto a = base;
+  auto b = base;
+  for (int i = 0; i < 64; ++i) a[static_cast<std::size_t>(i)] ^= std::byte{1};
+  for (int i = 512; i < 600; ++i) b[static_cast<std::size_t>(i)] ^= std::byte{2};
+  auto da = compute_diff(0, a, base);
+  auto db = compute_diff(0, b, base);
+  auto home = base;
+  apply_diff(home, da);
+  apply_diff(home, db);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(home[static_cast<std::size_t>(i)], a[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 512; i < 600; ++i) {
+    EXPECT_EQ(home[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Diff, WireBytesAccountsHeadersAndData) {
+  auto twin = make_page(1024, 7);
+  auto cur = twin;
+  cur[0] ^= std::byte{1};
+  cur[100] ^= std::byte{1};
+  auto d = compute_diff(0, cur, twin);
+  EXPECT_EQ(d.wire_bytes(), 16u + 8u * d.runs.size() + d.modified_bytes());
+}
+
+TEST(Diff, CostsFollowPaperModel) {
+  ArchParams arch;
+  auto twin = make_page(4096, 8);
+  auto cur = twin;
+  for (int i = 0; i < 400; ++i) cur[static_cast<std::size_t>(i)] ^= std::byte{1};
+  auto d = compute_diff(0, cur, twin);
+  const std::uint64_t words = 4096 / kDiffWordBytes;
+  const std::uint64_t included = d.modified_bytes() / kDiffWordBytes;
+  EXPECT_EQ(diff_create_cycles(arch, d, 4096),
+            arch.diff_compare_cycles_per_word * words +
+                arch.diff_include_cycles_per_word * included);
+  EXPECT_EQ(diff_apply_cycles(arch, d),
+            (arch.diff_compare_cycles_per_word +
+             arch.diff_include_cycles_per_word) *
+                included);
+}
+
+// Property: for random twin/current pairs, apply(twin, diff) == current.
+class DiffRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiffRoundTrip, RandomMutationsRoundTrip) {
+  const std::uint64_t seed = GetParam();
+  apps::Rng rng(seed);
+  const std::size_t size = 256u << (seed % 5);  // 256B .. 4KB
+  auto twin = make_page(size, seed * 31 + 1);
+  auto cur = twin;
+  const std::uint32_t mutations = rng.below(200);
+  for (std::uint32_t m = 0; m < mutations; ++m) {
+    cur[rng.below(static_cast<std::uint32_t>(size))] =
+        static_cast<std::byte>(rng.next() & 0xff);
+  }
+  auto d = compute_diff(0, cur, twin);
+  auto rebuilt = twin;
+  apply_diff(rebuilt, d);
+  EXPECT_EQ(std::memcmp(rebuilt.data(), cur.data(), size), 0)
+      << "seed=" << seed;
+  // Runs are sorted, non-overlapping, word-aligned.
+  std::uint32_t prev_end = 0;
+  for (const auto& r : d.runs) {
+    EXPECT_EQ(r.offset % kDiffWordBytes, 0u);
+    EXPECT_GE(r.offset, prev_end);
+    EXPECT_FALSE(r.bytes.empty());
+    prev_end = r.offset + static_cast<std::uint32_t>(r.bytes.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffRoundTrip,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+}  // namespace
+}  // namespace svmsim::svm

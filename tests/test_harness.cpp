@@ -1,0 +1,105 @@
+// Harness utilities: CLI parsing and table/CSV formatting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
+
+namespace svmsim::harness {
+namespace {
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> out;
+  for (auto& a : args) out.push_back(a.data());
+  return out;
+}
+
+TEST(Cli, ParsesKeyEqualsValue) {
+  std::vector<std::string> args{"prog", "--scale=large", "--csv=/tmp/x"};
+  auto argv = argv_of(args);
+  Cli cli(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(cli.get_or("scale", "?"), "large");
+  EXPECT_EQ(cli.get_or("csv", "?"), "/tmp/x");
+  EXPECT_FALSE(cli.get("missing").has_value());
+}
+
+TEST(Cli, ParsesKeySpaceValue) {
+  std::vector<std::string> args{"prog", "--scale", "tiny"};
+  auto argv = argv_of(args);
+  Cli cli(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(cli.get_or("scale", "?"), "tiny");
+}
+
+TEST(Cli, BareFlagIsTruthy) {
+  std::vector<std::string> args{"prog", "--verbose"};
+  auto argv = argv_of(args);
+  Cli cli(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("quiet"));
+}
+
+TEST(Cli, PositionalArguments) {
+  std::vector<std::string> args{"prog", "fft", "--scale=tiny", "extra"};
+  auto argv = argv_of(args);
+  Cli cli(static_cast<int>(argv.size()), argv.data());
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "fft");
+  EXPECT_EQ(cli.positional()[1], "extra");
+}
+
+TEST(Cli, NumericAccessors) {
+  std::vector<std::string> args{"prog", "--n=42", "--x=2.5"};
+  auto argv = argv_of(args);
+  Cli cli(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0), 2.5);
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "longheader"});
+  t.add_row({"xxxx", "1"});
+  const std::string s = t.to_string();
+  // Header and row lines must have matching column starts.
+  std::istringstream is(s);
+  std::string header, rule, row;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row);
+  EXPECT_EQ(header.find("longheader"), row.find("1"));
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"app", "speedup"});
+  t.add_row({"fft", "3.14"});
+  t.add_row({"with,comma", "1"});
+  const std::string path = "/tmp/svmsim_test_table.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  EXPECT_EQ(l1, "app,speedup");
+  EXPECT_EQ(l2, "fft,3.14");
+  EXPECT_EQ(l3, "\"with,comma\",1");
+  std::remove(path.c_str());
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace svmsim::harness

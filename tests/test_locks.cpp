@@ -1,0 +1,160 @@
+// Token-lock protocol tests: mutual exclusion, local vs remote accounting,
+// caching and recall behaviour.
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+
+namespace svmsim::test {
+namespace {
+
+using apps::Distribution;
+using apps::SharedArray;
+using apps::Shm;
+
+TEST(Locks, MutualExclusionUnderContention) {
+  SimConfig cfg = config_with(16, 4);
+  SharedArray<int> in_cs;   // occupancy counter checked inside the CS
+  bool exclusive = true;
+  long entries = 0;
+
+  LambdaWorkload w(
+      "mutex-stress",
+      [&](Machine& m) {
+        in_cs = SharedArray<int>::alloc(m, 1, Distribution::fixed(0));
+        in_cs.debug_put(m, 0, 0);
+      },
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        Shm shm(m, pid);
+        apps::Rng rng(static_cast<std::uint64_t>(pid) + 99);
+        for (int it = 0; it < 8; ++it) {
+          co_await shm.lock(7);
+          const int inside = co_await in_cs.get(shm, 0);
+          if (inside != 0) exclusive = false;
+          co_await in_cs.put(shm, 0, 1);
+          shm.compute(rng.below(4000));  // variable critical-section length
+          co_await in_cs.put(shm, 0, 0);
+          ++entries;
+          co_await shm.unlock(7);
+          shm.compute(rng.below(2000));
+        }
+        co_await shm.barrier();
+      });
+  auto r = run(w, cfg);
+  EXPECT_TRUE(exclusive);
+  EXPECT_EQ(entries, 16 * 8);
+  EXPECT_EQ(r.stats.counters().local_lock_acquires +
+                r.stats.counters().remote_lock_acquires,
+            16u * 8u);
+}
+
+TEST(Locks, UncontendedReacquireIsLocal) {
+  // One processor repeatedly acquiring a lock homed on its own node never
+  // sends a message after the first acquire.
+  SimConfig cfg = config_with(4, 4);  // one node
+  LambdaWorkload w(
+      "local-reacquire", nullptr,
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        Shm shm(m, pid);
+        if (pid == 0) {
+          for (int i = 0; i < 10; ++i) {
+            co_await shm.lock(3);
+            co_await shm.unlock(3);
+          }
+        }
+        co_await shm.barrier();
+      });
+  auto r = run(w, cfg);
+  EXPECT_EQ(r.stats.counters().local_lock_acquires, 10u);
+  EXPECT_EQ(r.stats.counters().remote_lock_acquires, 0u);
+}
+
+TEST(Locks, TokenCachingMakesSameNodeHandoffsLocal) {
+  SimConfig cfg = config_with(8, 4);  // two nodes
+  LambdaWorkload w(
+      "node-caching", nullptr,
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        Shm shm(m, pid);
+        // Only node 1's processors (pids 4-7) use the lock, which is homed
+        // at node 0 (lock 0 % 2 == 0): one remote fetch, then local reuse.
+        if (pid >= 4) {
+          for (int i = 0; i < 5; ++i) {
+            co_await shm.lock(0);
+            shm.compute(500);
+            co_await shm.unlock(0);
+          }
+        }
+        co_await shm.barrier();
+      });
+  auto r = run(w, cfg);
+  EXPECT_EQ(r.stats.counters().remote_lock_acquires, 1u);
+  EXPECT_EQ(r.stats.counters().local_lock_acquires, 19u);
+}
+
+TEST(Locks, CrossNodePingPongIsRemote) {
+  SimConfig cfg = config_with(2, 1);
+  LambdaWorkload w(
+      "ping-pong", nullptr,
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        Shm shm(m, pid);
+        for (int i = 0; i < 6; ++i) {
+          co_await shm.lock(1);
+          co_await shm.unlock(1);
+          // Barrier forces strict alternation: the token must cross nodes
+          // every round.
+          co_await shm.barrier();
+        }
+      });
+  auto r = run(w, cfg);
+  EXPECT_GE(r.stats.counters().remote_lock_acquires, 6u);
+}
+
+TEST(Locks, ManyIndependentLocksProceedInParallel) {
+  SimConfig cfg = config_with(16, 4);
+  long done = 0;
+  LambdaWorkload w(
+      "independent-locks", nullptr,
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        Shm shm(m, pid);
+        for (int i = 0; i < 10; ++i) {
+          co_await shm.lock(200 + pid);  // private lock per processor
+          co_await shm.unlock(200 + pid);
+          ++done;
+        }
+        co_await shm.barrier();
+      });
+  auto r = run(w, cfg);
+  EXPECT_EQ(done, 160);
+  EXPECT_TRUE(r.validated);
+}
+
+TEST(Locks, HomeNodeCanReacquireAfterRemoteUse) {
+  SimConfig cfg = config_with(4, 1);
+  std::vector<int> order;
+  LambdaWorkload w(
+      "token-return", nullptr,
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        Shm shm(m, pid);
+        for (int round = 0; round < 3; ++round) {
+          // Processors take turns by round-robin phases.
+          for (int turn = 0; turn < shm.nprocs(); ++turn) {
+            if (turn == pid) {
+              co_await shm.lock(4);
+              order.push_back(pid);
+              co_await shm.unlock(4);
+            }
+            co_await shm.barrier();
+          }
+        }
+      });
+  auto r = run(w, cfg);
+  ASSERT_EQ(order.size(), 12u);
+  for (int round = 0; round < 3; ++round) {
+    for (int p = 0; p < 4; ++p) {
+      EXPECT_EQ(order[static_cast<std::size_t>(round * 4 + p)], p);
+    }
+  }
+  EXPECT_TRUE(r.validated);
+}
+
+}  // namespace
+}  // namespace svmsim::test

@@ -1,0 +1,120 @@
+// Polling instead of interrupts (paper §10's proposal, implemented as
+// InterruptScheme::kPolling).
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "common.hpp"
+
+namespace svmsim::test {
+namespace {
+
+using apps::Distribution;
+using apps::SharedArray;
+using apps::Shm;
+
+SimConfig polling_config(int total = 16, int ppn = 4) {
+  SimConfig cfg = config_with(total, ppn);
+  cfg.comm.interrupt_scheme = InterruptScheme::kPolling;
+  return cfg;
+}
+
+TEST(Polling, ServicesRequestsWithoutInterrupts) {
+  SimConfig cfg = polling_config();
+  auto app = apps::make_app("fft", apps::Scale::kTiny);
+  auto r = svmsim::run(*app, cfg);
+  EXPECT_TRUE(r.validated);
+  EXPECT_EQ(r.stats.counters().interrupts, 0u);
+  EXPECT_GT(r.stats.counters().polled_requests, 0u);
+}
+
+TEST(Polling, CoherenceHoldsUnderPolling) {
+  SimConfig cfg = polling_config();
+  constexpr int kSlots = 48;
+  SharedArray<long long> acc;
+  LambdaWorkload w(
+      "polling-acc",
+      [&](Machine& m) {
+        acc = SharedArray<long long>::alloc(m, kSlots, Distribution::block());
+        for (int i = 0; i < kSlots; ++i) acc.debug_put(m, i, 0LL);
+      },
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        Shm shm(m, pid);
+        const int P = shm.nprocs();
+        for (int k = 0; k < P; ++k) {
+          const int t = (pid + k) % P;
+          co_await shm.lock(300 + t);
+          for (int i = t * kSlots / P; i < (t + 1) * kSlots / P; ++i) {
+            const long long v = co_await acc.get(shm, i);
+            co_await acc.put(shm, i, v + 1 + pid);
+          }
+          co_await shm.unlock(300 + t);
+        }
+        co_await shm.barrier();
+      },
+      [&](Machine& m) {
+        long long want = 0;
+        for (int p = 0; p < 16; ++p) want += 1 + p;
+        for (int i = 0; i < kSlots; ++i) {
+          if (acc.debug_get(m, i) != want) return false;
+        }
+        return true;
+      });
+  auto r = run(w, cfg);
+  EXPECT_TRUE(r.validated);
+}
+
+TEST(Polling, InsensitiveToInterruptCost) {
+  // The whole point of polling: raising the interrupt cost changes nothing.
+  SimConfig lo = polling_config();
+  lo.comm.interrupt_cost = 0;
+  SimConfig hi = polling_config();
+  hi.comm.interrupt_cost = 10000;
+  auto a1 = apps::make_app("water-nsq", apps::Scale::kTiny);
+  auto a2 = apps::make_app("water-nsq", apps::Scale::kTiny);
+  auto r1 = svmsim::run(*a1, lo);
+  auto r2 = svmsim::run(*a2, hi);
+  EXPECT_EQ(r1.time, r2.time);
+}
+
+TEST(Polling, CoarserPollIntervalAddsLatency) {
+  SimConfig fine = polling_config();
+  fine.comm.poll_interval = 200;
+  SimConfig coarse = polling_config();
+  coarse.comm.poll_interval = 20000;
+  auto a1 = apps::make_app("fft", apps::Scale::kTiny);
+  auto a2 = apps::make_app("fft", apps::Scale::kTiny);
+  auto r1 = svmsim::run(*a1, fine);
+  auto r2 = svmsim::run(*a2, coarse);
+  EXPECT_LT(r1.time, r2.time);
+}
+
+TEST(Polling, BeatsExpensiveInterrupts) {
+  // With costly interrupts, polling should win (Stets et al.'s finding,
+  // discussed in paper §10); with free interrupts, interrupts win.
+  SimConfig intr = config_with(16, 4);
+  intr.comm.interrupt_cost = 5000;
+  SimConfig poll = polling_config();
+  poll.comm.interrupt_cost = 5000;  // irrelevant under polling
+  auto a1 = apps::make_app("barnes", apps::Scale::kTiny);
+  auto a2 = apps::make_app("barnes", apps::Scale::kTiny);
+  auto r_intr = svmsim::run(*a1, intr);
+  auto r_poll = svmsim::run(*a2, poll);
+  EXPECT_LT(r_poll.time, r_intr.time);
+}
+
+TEST(Polling, WorksAcrossProtocolsAndShapes) {
+  for (Protocol proto : {Protocol::kHLRC, Protocol::kAURC}) {
+    for (int ppn : {1, 4}) {
+      SimConfig cfg = polling_config(16, ppn);
+      cfg.comm.protocol = proto;
+      auto app = apps::make_app("water-sp", apps::Scale::kTiny);
+      auto r = svmsim::run(*app, cfg);
+      EXPECT_TRUE(r.validated)
+          << to_string(proto) << " ppn=" << ppn;
+      EXPECT_EQ(r.stats.counters().interrupts, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace svmsim::test

@@ -1,0 +1,112 @@
+// Processor local-clock accounting: charge/drain, handler stealing and the
+// wait-overlap forgiveness rule.
+#include <gtest/gtest.h>
+
+#include "core/processor.hpp"
+#include "engine/simulator.hpp"
+#include "memsys/memory_bus.hpp"
+
+namespace svmsim {
+namespace {
+
+struct Fixture {
+  SimConfig cfg;
+  engine::Simulator sim;
+  memsys::MemoryBus bus{sim, cfg.arch};
+  Stats stats{1};
+  Processor proc{sim, cfg, 0, 0, 0, bus, stats.proc(0)};
+};
+
+TEST(Processor, ChargeAccumulatesLocally) {
+  Fixture f;
+  f.proc.charge(TimeCat::kCompute, 100);
+  EXPECT_EQ(f.sim.now(), 0u);              // no global time passed
+  EXPECT_EQ(f.proc.local_now(), 100u);     // but the local clock advanced
+  EXPECT_EQ(f.stats.proc(0).get(TimeCat::kCompute), 100u);
+}
+
+TEST(Processor, DrainPushesPendingToGlobalClock) {
+  Fixture f;
+  f.proc.charge(TimeCat::kCompute, 250);
+  engine::spawn([](Fixture& fx) -> engine::Task<void> {
+    co_await fx.proc.drain();
+  }(f));
+  f.sim.run_until_idle();
+  EXPECT_EQ(f.sim.now(), 250u);
+  EXPECT_EQ(f.proc.local_now(), 250u);
+}
+
+TEST(Processor, HandlerStealsAreInjectedAtDrain) {
+  Fixture f;
+  bool handled = false;
+  f.proc.service_interrupt([&]() -> engine::Task<void> {
+    handled = true;
+    co_await f.sim.delay(300);
+  });
+  f.sim.run_until_idle();
+  ASSERT_TRUE(handled);
+  // App now drains 100 cycles of compute; the handler's occupancy
+  // (2*interrupt_cost + dispatch + 300) is injected on top.
+  f.proc.charge(TimeCat::kCompute, 100);
+  engine::spawn([](Fixture& fx) -> engine::Task<void> {
+    co_await fx.proc.drain();
+  }(f));
+  const Cycles handler_occupancy =
+      2 * f.cfg.comm.interrupt_cost + f.cfg.arch.handler_dispatch_cycles + 300;
+  f.sim.run_until_idle();
+  EXPECT_EQ(f.proc.local_now(), f.sim.now());
+  EXPECT_EQ(f.stats.proc(0).get(TimeCat::kHandler), handler_occupancy);
+  EXPECT_GE(f.sim.now(), 100u + handler_occupancy);
+}
+
+TEST(Processor, StealsOverlappingWaitsAreForgiven) {
+  Fixture f;
+  engine::spawn([](Fixture& fx) -> engine::Task<void> {
+    // Start a long wait; a handler arrives in the middle of it.
+    const Cycles t0 = co_await fx.proc.wait_begin();
+    co_await fx.sim.delay(10000);
+    fx.proc.wait_end(TimeCat::kBarrierWait, t0);
+    co_await fx.proc.drain();
+  }(f));
+  f.sim.queue().schedule_at(1000, [&] {
+    f.proc.service_interrupt([&]() -> engine::Task<void> {
+      co_await f.sim.delay(500);
+    });
+  });
+  f.sim.run_until_idle();
+  // The handler ran entirely inside the wait: no extra time beyond it.
+  EXPECT_EQ(f.sim.now(), 10000u);
+  EXPECT_EQ(f.stats.proc(0).get(TimeCat::kBarrierWait), 10000u);
+  EXPECT_EQ(f.stats.proc(0).get(TimeCat::kHandler), 0u);
+}
+
+TEST(Processor, ConcurrentHandlersSerializeOnOneCpu) {
+  Fixture f;
+  std::vector<Cycles> done;
+  for (int i = 0; i < 2; ++i) {
+    f.proc.service_interrupt([&]() -> engine::Task<void> {
+      co_await f.sim.delay(1000);
+      done.push_back(f.sim.now());
+    });
+  }
+  f.sim.run_until_idle();
+  ASSERT_EQ(done.size(), 2u);
+  const Cycles per_handler =
+      2 * f.cfg.comm.interrupt_cost + f.cfg.arch.handler_dispatch_cycles + 1000;
+  EXPECT_EQ(done[1] - done[0], per_handler);
+}
+
+TEST(Processor, PolledServiceSkipsInterruptCost) {
+  Fixture f;
+  Cycles finished = 0;
+  f.proc.service_polled([&]() -> engine::Task<void> {
+    co_await f.sim.delay(100);
+    finished = f.sim.now();
+  });
+  f.sim.run_until_idle();
+  EXPECT_EQ(finished, f.cfg.comm.poll_check_cost +
+                          f.cfg.arch.handler_dispatch_cycles + 100);
+}
+
+}  // namespace
+}  // namespace svmsim

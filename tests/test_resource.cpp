@@ -1,0 +1,122 @@
+#include "engine/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/simulator.hpp"
+#include "engine/task.hpp"
+
+namespace svmsim::engine {
+namespace {
+
+TEST(Resource, SerializesService) {
+  Simulator sim;
+  Resource r(sim);
+  std::vector<Cycles> done;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](Simulator& s, Resource& res, std::vector<Cycles>& d) -> Task<void> {
+      co_await res.serve(10);
+      d.push_back(s.now());
+    }(sim, r, done));
+  }
+  sim.run_until_idle();
+  EXPECT_EQ(done, (std::vector<Cycles>{10, 20, 30}));
+  EXPECT_EQ(r.grants(), 3u);
+  EXPECT_EQ(r.busy_cycles(), 30u);
+}
+
+TEST(Resource, FifoOrderAmongWaiters) {
+  Simulator sim;
+  Resource r(sim);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    spawn([](Resource& res, std::vector<int>& o, int id) -> Task<void> {
+      co_await res.serve(5);
+      o.push_back(id);
+    }(r, order, i));
+  }
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Resource, ZeroServiceStillGrants) {
+  Simulator sim;
+  Resource r(sim);
+  int served = 0;
+  spawn([](Resource& res, int& n) -> Task<void> {
+    co_await res.serve(0);
+    ++n;
+  }(r, served));
+  sim.run_until_idle();
+  EXPECT_EQ(served, 1);
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(Resource, WithHoldsForBodyDuration) {
+  Simulator sim;
+  Resource r(sim);
+  std::vector<Cycles> done;
+  spawn([](Simulator& s, Resource& res, std::vector<Cycles>& d) -> Task<void> {
+    co_await res.with([&]() -> Task<void> { co_await s.delay(25); });
+    d.push_back(s.now());
+  }(sim, r, done));
+  spawn([](Simulator& s, Resource& res, std::vector<Cycles>& d) -> Task<void> {
+    co_await res.serve(5);
+    d.push_back(s.now());
+  }(sim, r, done));
+  sim.run_until_idle();
+  EXPECT_EQ(done, (std::vector<Cycles>{25, 30}));
+}
+
+TEST(PriorityResource, HigherPriorityWinsArbitration) {
+  Simulator sim;
+  PriorityResource r(sim, /*arbitration=*/1);
+  std::vector<int> order;
+  // Occupy the resource, then enqueue low before high priority.
+  spawn([](PriorityResource& res, std::vector<int>& o) -> Task<void> {
+    co_await res.serve(5, 10);
+    o.push_back(0);
+  }(r, order));
+  spawn([](PriorityResource& res, std::vector<int>& o) -> Task<void> {
+    co_await res.serve(4, 10);  // queued first, lower priority (bigger num)
+    o.push_back(2);
+  }(r, order));
+  spawn([](PriorityResource& res, std::vector<int>& o) -> Task<void> {
+    co_await res.serve(1, 10);  // queued second, higher priority
+    o.push_back(1);
+  }(r, order));
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PriorityResource, ArbitrationAddsToEveryGrant) {
+  Simulator sim;
+  PriorityResource r(sim, 4);
+  Cycles done = 0;
+  spawn([](Simulator& s, PriorityResource& res, Cycles& d) -> Task<void> {
+    co_await res.serve(0, 10);
+    co_await res.serve(0, 10);
+    d = s.now();
+  }(sim, r, done));
+  sim.run_until_idle();
+  EXPECT_EQ(done, 28u);  // 2 x (4 arbitration + 10 service)
+  EXPECT_EQ(r.busy_cycles(), 28u);
+}
+
+TEST(PriorityResource, EqualPriorityIsFifo) {
+  Simulator sim;
+  PriorityResource r(sim, 0);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](PriorityResource& res, std::vector<int>& o, int id) -> Task<void> {
+      co_await res.serve(2, 7);
+      o.push_back(id);
+    }(r, order, i));
+  }
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace svmsim::engine

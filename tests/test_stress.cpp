@@ -1,0 +1,196 @@
+// Randomized protocol stress: data-race-free programs generated from seeds.
+//
+// Every shared slot is guarded by its own lock; processors perform random
+// lock-protected read-modify-writes interleaved with random compute,
+// barriers and page-sized block traffic. Because each applied delta is also
+// tallied host-side, the final shared values are exactly predictable — any
+// protocol race (lost update, stale read, resurrection) breaks the tally.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <tuple>
+#include <vector>
+
+#include "common.hpp"
+
+namespace svmsim::test {
+namespace {
+
+using apps::Distribution;
+using apps::Rng;
+using apps::SharedArray;
+using apps::Shm;
+
+struct StressParam {
+  std::uint64_t seed;
+  Protocol proto;
+  int ppn;
+  std::uint32_t page_bytes;
+};
+
+class StressMatrix : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(StressMatrix, RandomDrfProgramIsExact) {
+  const StressParam sp = GetParam();
+  SimConfig cfg = config_with(16, sp.ppn, sp.proto);
+  cfg.comm.page_bytes = sp.page_bytes;
+
+  constexpr int kSlots = 96;
+  constexpr int kOpsPerProc = 60;
+  SharedArray<long long> slots;
+  SharedArray<double> churn;  // extra page traffic, values unchecked exactly
+  std::vector<long long> applied(kSlots, 0);  // host-side tally
+
+  LambdaWorkload w(
+      "stress",
+      [&](Machine& m) {
+        slots = SharedArray<long long>::alloc(m, kSlots,
+                                              Distribution::cyclic());
+        churn = SharedArray<double>::alloc(m, 4096, Distribution::block());
+        for (int i = 0; i < kSlots; ++i) slots.debug_put(m, i, 0LL);
+        for (int i = 0; i < 4096; ++i) churn.debug_put(m, i, 0.0);
+      },
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        Shm shm(m, pid);
+        Rng rng(sp.seed * 977 + static_cast<std::uint64_t>(pid));
+        const int P = shm.nprocs();
+        for (int op = 0; op < kOpsPerProc; ++op) {
+          const std::uint32_t kind = rng.below(10);
+          if (kind < 6) {
+            // Lock-protected RMW on a random slot.
+            const int s = static_cast<int>(rng.below(kSlots));
+            const long long delta = 1 + static_cast<long long>(rng.below(97));
+            co_await shm.lock(1000 + s);
+            const long long v = co_await slots.get(shm, s);
+            co_await slots.put(shm, s, v + delta);
+            applied[static_cast<std::size_t>(s)] += delta;
+            co_await shm.unlock(1000 + s);
+          } else if (kind < 8) {
+            // Unsynchronized churn on this processor's own churn region
+            // (single-writer, so still data-race-free).
+            const int base = 4096 * pid / P;
+            const int len = 4096 / P;
+            std::vector<double> buf(static_cast<std::size_t>(len));
+            for (int i = 0; i < len; ++i) {
+              buf[static_cast<std::size_t>(i)] = op * 1000.0 + i;
+            }
+            co_await churn.put_block(shm, static_cast<std::size_t>(base),
+                                     buf.data(), buf.size());
+          } else if (kind < 9) {
+            // Read someone else's churn region (stale values allowed; must
+            // not crash or corrupt).
+            const int victim = static_cast<int>(rng.below(
+                static_cast<std::uint32_t>(P)));
+            const int base = 4096 * victim / P;
+            double x = 0;
+            for (int i = 0; i < 8; ++i) {
+              x += co_await churn.get(shm, static_cast<std::size_t>(base + i));
+            }
+            shm.compute(static_cast<Cycles>(x >= 0 ? 10 : 11));
+          } else {
+            shm.compute(rng.below(3000));
+          }
+        }
+        co_await shm.barrier();
+      },
+      [&](Machine& m) {
+        for (int s = 0; s < kSlots; ++s) {
+          if (slots.debug_get(m, s) != applied[static_cast<std::size_t>(s)]) {
+            ADD_FAILURE() << "slot " << s << ": got " << slots.debug_get(m, s)
+                          << " want " << applied[static_cast<std::size_t>(s)];
+            return false;
+          }
+        }
+        return true;
+      });
+
+  auto r = run(w, cfg);
+  EXPECT_TRUE(r.validated);
+}
+
+std::vector<StressParam> stress_params() {
+  std::vector<StressParam> v;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    v.push_back({seed, Protocol::kHLRC, 4, 4096});
+  }
+  v.push_back({7, Protocol::kHLRC, 1, 4096});
+  v.push_back({8, Protocol::kHLRC, 8, 4096});
+  v.push_back({9, Protocol::kHLRC, 4, 1024});
+  v.push_back({10, Protocol::kHLRC, 4, 16384});
+  v.push_back({11, Protocol::kAURC, 4, 4096});
+  v.push_back({12, Protocol::kAURC, 8, 4096});
+  v.push_back({13, Protocol::kAURC, 4, 1024});
+  v.push_back({14, Protocol::kAURC, 1, 16384});
+  return v;
+}
+
+std::string stress_name(const ::testing::TestParamInfo<StressParam>& info) {
+  const auto& p = info.param;
+  return "seed" + std::to_string(p.seed) + "_" + to_string(p.proto) + "_ppn" +
+         std::to_string(p.ppn) + "_pg" + std::to_string(p.page_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressMatrix,
+                         ::testing::ValuesIn(stress_params()), stress_name);
+
+// Extreme-parameter robustness: the protocol must stay correct when the
+// communication architecture is pathological, not just slow.
+struct ExtremeParam {
+  const char* name;
+  std::function<void(SimConfig&)> mutate;
+};
+
+class ExtremeConfig : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtremeConfig, AccumulationStaysExact) {
+  static const std::vector<ExtremeParam> kExtremes = {
+      {"free-everything", [](SimConfig& c) { c.comm = CommParams::best(); }},
+      {"slow-interrupts",
+       [](SimConfig& c) { c.comm.interrupt_cost = 20000; }},
+      {"trickle-bandwidth",
+       [](SimConfig& c) { c.comm.io_bus_mb_per_mhz = 0.03125; }},
+      {"molasses-ni", [](SimConfig& c) { c.comm.ni_occupancy = 20000; }},
+      {"huge-overhead", [](SimConfig& c) { c.comm.host_overhead = 10000; }},
+      {"tiny-mtu",
+       [](SimConfig& c) { c.arch.mtu_payload_bytes = 256; }},
+      {"tiny-ni-queues",
+       [](SimConfig& c) { c.arch.ni_queue_bytes = 8192; }},
+  };
+  SimConfig cfg = config_with(16, 4);
+  kExtremes[static_cast<std::size_t>(GetParam())].mutate(cfg);
+
+  constexpr int kSlots = 32;
+  SharedArray<long long> acc;
+  LambdaWorkload w(
+      "extreme",
+      [&](Machine& m) {
+        acc = SharedArray<long long>::alloc(m, kSlots, Distribution::block());
+        for (int i = 0; i < kSlots; ++i) acc.debug_put(m, i, 0LL);
+      },
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        Shm shm(m, pid);
+        for (int k = 0; k < 16; ++k) {
+          const int t = (pid + k) % 16;
+          co_await shm.lock(50 + t);
+          for (int i = t * 2; i < t * 2 + 2; ++i) {
+            const long long v = co_await acc.get(shm, i);
+            co_await acc.put(shm, i, v + 1);
+          }
+          co_await shm.unlock(50 + t);
+        }
+        co_await shm.barrier();
+      },
+      [&](Machine& m) {
+        for (int i = 0; i < kSlots; ++i) {
+          if (acc.debug_get(m, i) != 16) return false;
+        }
+        return true;
+      });
+  auto r = run(w, cfg);
+  EXPECT_TRUE(r.validated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ExtremeConfig, ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace svmsim::test

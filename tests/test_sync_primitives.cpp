@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/simulator.hpp"
+#include "engine/task.hpp"
+
+namespace svmsim::engine {
+namespace {
+
+TEST(Trigger, ReleasesAllWaiters) {
+  Simulator sim;
+  Trigger t(sim);
+  int released = 0;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](Trigger& tr, int& n) -> Task<void> {
+      co_await tr.wait();
+      ++n;
+    }(t, released));
+  }
+  sim.run_until_idle();
+  EXPECT_EQ(released, 0);
+  t.fire();
+  sim.run_until_idle();
+  EXPECT_EQ(released, 3);
+}
+
+TEST(Trigger, WaitAfterFireCompletesImmediately) {
+  Simulator sim;
+  Trigger t(sim);
+  t.fire();
+  bool done = false;
+  spawn([](Trigger& tr, bool& d) -> Task<void> {
+    co_await tr.wait();
+    d = true;
+  }(t, done));
+  EXPECT_TRUE(done);  // no suspension needed
+}
+
+TEST(Trigger, FireIsIdempotent) {
+  Simulator sim;
+  Trigger t(sim);
+  int released = 0;
+  spawn([](Trigger& tr, int& n) -> Task<void> {
+    co_await tr.wait();
+    ++n;
+  }(t, released));
+  t.fire();
+  t.fire();
+  sim.run_until_idle();
+  EXPECT_EQ(released, 1);
+}
+
+TEST(Trigger, ResetReArms) {
+  Simulator sim;
+  Trigger t(sim);
+  t.fire();
+  t.reset();
+  bool done = false;
+  spawn([](Trigger& tr, bool& d) -> Task<void> {
+    co_await tr.wait();
+    d = true;
+  }(t, done));
+  sim.run_until_idle();
+  EXPECT_FALSE(done);
+  t.fire();
+  sim.run_until_idle();
+  EXPECT_TRUE(done);
+}
+
+TEST(Semaphore, AcquireConsumesCount) {
+  Simulator sim;
+  Semaphore s(sim, 2);
+  int acquired = 0;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](Semaphore& sem, int& n) -> Task<void> {
+      co_await sem.acquire();
+      ++n;
+    }(s, acquired));
+  }
+  sim.run_until_idle();
+  EXPECT_EQ(acquired, 2);
+  s.release();
+  sim.run_until_idle();
+  EXPECT_EQ(acquired, 3);
+}
+
+TEST(Semaphore, ReleaseWithoutWaitersIncrementsCount) {
+  Simulator sim;
+  Semaphore s(sim, 0);
+  s.release();
+  s.release();
+  EXPECT_EQ(s.count(), 2);
+}
+
+TEST(Semaphore, FifoWakeup) {
+  Simulator sim;
+  Semaphore s(sim, 0);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](Semaphore& sem, std::vector<int>& o, int id) -> Task<void> {
+      co_await sem.acquire();
+      o.push_back(id);
+    }(s, order, i));
+  }
+  for (int i = 0; i < 3; ++i) s.release();
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Delay, AccumulatesSimulatedTime) {
+  Simulator sim;
+  Cycles end = 0;
+  spawn([](Simulator& s, Cycles& e) -> Task<void> {
+    co_await s.delay(5);
+    co_await s.delay(7);
+    e = s.now();
+  }(sim, end));
+  sim.run_until_idle();
+  EXPECT_EQ(end, 12u);
+}
+
+}  // namespace
+}  // namespace svmsim::engine

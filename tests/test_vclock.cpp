@@ -1,0 +1,64 @@
+#include "svm/vclock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svmsim::svm {
+namespace {
+
+TEST(VClock, StartsAtZero) {
+  VClock v(4);
+  for (int n = 0; n < 4; ++n) EXPECT_EQ(v.get(n), 0u);
+}
+
+TEST(VClock, AdvanceIncrementsOneComponent) {
+  VClock v(4);
+  EXPECT_EQ(v.advance(2), 1u);
+  EXPECT_EQ(v.advance(2), 2u);
+  EXPECT_EQ(v.get(2), 2u);
+  EXPECT_EQ(v.get(0), 0u);
+}
+
+TEST(VClock, CoversInterval) {
+  VClock v(2);
+  v.set(1, 3);
+  EXPECT_TRUE(v.covers(1, 3));
+  EXPECT_TRUE(v.covers(1, 1));
+  EXPECT_FALSE(v.covers(1, 4));
+  EXPECT_TRUE(v.covers(0, 0));
+}
+
+TEST(VClock, CoversIsComponentWise) {
+  VClock a(3), b(3);
+  a.set(0, 2);
+  a.set(1, 2);
+  b.set(0, 1);
+  b.set(1, 2);
+  EXPECT_TRUE(a.covers(b));
+  EXPECT_FALSE(b.covers(a));
+  b.set(2, 1);
+  EXPECT_FALSE(a.covers(b));  // incomparable
+  EXPECT_FALSE(b.covers(a));
+}
+
+TEST(VClock, MergeTakesComponentMax) {
+  VClock a(3), b(3);
+  a.set(0, 5);
+  b.set(1, 7);
+  b.set(0, 2);
+  a.merge(b);
+  EXPECT_EQ(a.get(0), 5u);
+  EXPECT_EQ(a.get(1), 7u);
+  EXPECT_EQ(a.get(2), 0u);
+  EXPECT_TRUE(a.covers(b));
+}
+
+TEST(VClock, EqualityAndToString) {
+  VClock a(2), b(2);
+  EXPECT_EQ(a, b);
+  a.advance(0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.to_string(), "[1 0]");
+}
+
+}  // namespace
+}  // namespace svmsim::svm

@@ -1,0 +1,102 @@
+#include "memsys/write_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace svmsim::memsys {
+namespace {
+
+TEST(WriteBuffer, NoStallWhileBelowCapacity) {
+  WriteBuffer wb(8, 4, 10);
+  std::vector<std::uint64_t> retired;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(wb.push(static_cast<std::uint64_t>(i) * 64, 0, retired), 0u);
+  }
+}
+
+TEST(WriteBuffer, CoalescesSameLine) {
+  WriteBuffer wb(4, 4, 10);
+  std::vector<std::uint64_t> retired;
+  wb.push(0, 0, retired);
+  wb.push(0, 1, retired);
+  wb.push(0, 2, retired);
+  EXPECT_EQ(wb.occupancy(), 1u);
+  EXPECT_EQ(wb.coalesced(), 2u);
+}
+
+TEST(WriteBuffer, RetiresOncePolicyThresholdReached) {
+  WriteBuffer wb(8, 4, 10);
+  std::vector<std::uint64_t> retired;
+  for (int i = 0; i < 4; ++i) {
+    wb.push(static_cast<std::uint64_t>(i) * 64, 0, retired);
+  }
+  // At time 0 we have 4 entries: draining starts; after 10 cycles the first
+  // entry retires.
+  wb.advance(9, retired);
+  EXPECT_TRUE(retired.empty());
+  wb.advance(10, retired);
+  EXPECT_EQ(retired.size(), 1u);
+  EXPECT_EQ(retired[0], 0u);
+  EXPECT_EQ(wb.occupancy(), 3u);
+}
+
+TEST(WriteBuffer, DrainStopsBelowThreshold) {
+  WriteBuffer wb(8, 4, 10);
+  std::vector<std::uint64_t> retired;
+  for (int i = 0; i < 4; ++i) {
+    wb.push(static_cast<std::uint64_t>(i) * 64, 0, retired);
+  }
+  wb.advance(1000, retired);
+  // Retire down to threshold-1 entries, then stop.
+  EXPECT_EQ(retired.size(), 1u);
+  EXPECT_EQ(wb.occupancy(), 3u);
+}
+
+TEST(WriteBuffer, FullBufferStallsUntilRetirement) {
+  WriteBuffer wb(4, 4, 10);
+  std::vector<std::uint64_t> retired;
+  for (int i = 0; i < 4; ++i) {
+    wb.push(static_cast<std::uint64_t>(i) * 64, 0, retired);
+  }
+  // Buffer full at t=5: the in-flight retirement (started at t=0) completes
+  // at t=10, so we stall 5 cycles.
+  const Cycles stall = wb.push(1000, 5, retired);
+  EXPECT_EQ(stall, 5u);
+  EXPECT_EQ(wb.full_stalls(), 1u);
+  EXPECT_EQ(wb.occupancy(), 4u);
+}
+
+TEST(WriteBuffer, NoStallWhenRetirementAlreadyDone) {
+  WriteBuffer wb(4, 2, 10);
+  std::vector<std::uint64_t> retired;
+  for (int i = 0; i < 4; ++i) {
+    wb.push(static_cast<std::uint64_t>(i) * 64, 0, retired);
+  }
+  // By t=100 the drain (threshold 2) got occupancy down to 1.
+  const Cycles stall = wb.push(1000, 100, retired);
+  EXPECT_EQ(stall, 0u);
+}
+
+TEST(WriteBuffer, ContainsReportsBufferedLines) {
+  WriteBuffer wb(8, 4, 10);
+  std::vector<std::uint64_t> retired;
+  wb.push(128, 0, retired);
+  EXPECT_TRUE(wb.contains(128));
+  EXPECT_FALSE(wb.contains(64));
+}
+
+TEST(WriteBuffer, RetirementIsFifo) {
+  WriteBuffer wb(8, 2, 10);
+  std::vector<std::uint64_t> retired;
+  wb.push(64, 0, retired);
+  wb.push(128, 0, retired);
+  wb.push(192, 0, retired);
+  wb.advance(100, retired);
+  ASSERT_EQ(retired.size(), 2u);
+  EXPECT_EQ(retired[0], 64u);
+  EXPECT_EQ(retired[1], 128u);
+}
+
+}  // namespace
+}  // namespace svmsim::memsys
