@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_breakdowns.dir/extra_breakdowns.cpp.o"
+  "CMakeFiles/extra_breakdowns.dir/extra_breakdowns.cpp.o.d"
+  "extra_breakdowns"
+  "extra_breakdowns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_breakdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_gap_analysis.dir/extra_gap_analysis.cpp.o"
+  "CMakeFiles/extra_gap_analysis.dir/extra_gap_analysis.cpp.o.d"
+  "extra_gap_analysis"
+  "extra_gap_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_gap_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

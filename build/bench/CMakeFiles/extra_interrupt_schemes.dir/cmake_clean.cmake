@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_interrupt_schemes.dir/extra_interrupt_schemes.cpp.o"
+  "CMakeFiles/extra_interrupt_schemes.dir/extra_interrupt_schemes.cpp.o.d"
+  "extra_interrupt_schemes"
+  "extra_interrupt_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_interrupt_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

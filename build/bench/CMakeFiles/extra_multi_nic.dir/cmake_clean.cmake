@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_multi_nic.dir/extra_multi_nic.cpp.o"
+  "CMakeFiles/extra_multi_nic.dir/extra_multi_nic.cpp.o.d"
+  "extra_multi_nic"
+  "extra_multi_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_multi_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_polling.dir/extra_polling.cpp.o"
+  "CMakeFiles/extra_polling.dir/extra_polling.cpp.o.d"
+  "extra_polling"
+  "extra_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_speedups.dir/fig01_speedups.cpp.o"
+  "CMakeFiles/fig01_speedups.dir/fig01_speedups.cpp.o.d"
+  "fig01_speedups"
+  "fig01_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

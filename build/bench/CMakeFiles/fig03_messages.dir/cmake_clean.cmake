@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_messages.dir/fig03_messages.cpp.o"
+  "CMakeFiles/fig03_messages.dir/fig03_messages.cpp.o.d"
+  "fig03_messages"
+  "fig03_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

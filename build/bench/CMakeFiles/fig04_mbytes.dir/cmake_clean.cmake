@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_mbytes.dir/fig04_mbytes.cpp.o"
+  "CMakeFiles/fig04_mbytes.dir/fig04_mbytes.cpp.o.d"
+  "fig04_mbytes"
+  "fig04_mbytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_mbytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

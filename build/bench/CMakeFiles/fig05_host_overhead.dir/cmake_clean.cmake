@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_host_overhead.dir/fig05_host_overhead.cpp.o"
+  "CMakeFiles/fig05_host_overhead.dir/fig05_host_overhead.cpp.o.d"
+  "fig05_host_overhead"
+  "fig05_host_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_host_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_overhead_vs_messages.dir/fig06_overhead_vs_messages.cpp.o"
+  "CMakeFiles/fig06_overhead_vs_messages.dir/fig06_overhead_vs_messages.cpp.o.d"
+  "fig06_overhead_vs_messages"
+  "fig06_overhead_vs_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_overhead_vs_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_overhead_vs_messages.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ni_occupancy.dir/fig07_ni_occupancy.cpp.o"
+  "CMakeFiles/fig07_ni_occupancy.dir/fig07_ni_occupancy.cpp.o.d"
+  "fig07_ni_occupancy"
+  "fig07_ni_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ni_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

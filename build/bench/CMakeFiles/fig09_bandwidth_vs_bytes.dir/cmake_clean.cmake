@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bandwidth_vs_bytes.dir/fig09_bandwidth_vs_bytes.cpp.o"
+  "CMakeFiles/fig09_bandwidth_vs_bytes.dir/fig09_bandwidth_vs_bytes.cpp.o.d"
+  "fig09_bandwidth_vs_bytes"
+  "fig09_bandwidth_vs_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bandwidth_vs_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_interrupt_vs_fetches.dir/fig11_interrupt_vs_fetches.cpp.o"
+  "CMakeFiles/fig11_interrupt_vs_fetches.dir/fig11_interrupt_vs_fetches.cpp.o.d"
+  "fig11_interrupt_vs_fetches"
+  "fig11_interrupt_vs_fetches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_interrupt_vs_fetches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_interrupt_vs_fetches.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_aurc_occupancy.dir/fig12_aurc_occupancy.cpp.o"
+  "CMakeFiles/fig12_aurc_occupancy.dir/fig12_aurc_occupancy.cpp.o.d"
+  "fig12_aurc_occupancy"
+  "fig12_aurc_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_aurc_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_page_size.dir/fig13_page_size.cpp.o"
+  "CMakeFiles/fig13_page_size.dir/fig13_page_size.cpp.o.d"
+  "fig13_page_size"
+  "fig13_page_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_page_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

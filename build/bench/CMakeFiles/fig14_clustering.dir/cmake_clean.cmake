@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_clustering.dir/fig14_clustering.cpp.o"
+  "CMakeFiles/fig14_clustering.dir/fig14_clustering.cpp.o.d"
+  "fig14_clustering"
+  "fig14_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

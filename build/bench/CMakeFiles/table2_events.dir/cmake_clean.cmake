@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_events.dir/table2_events.cpp.o"
+  "CMakeFiles/table2_events.dir/table2_events.cpp.o.d"
+  "table2_events"
+  "table2_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_max_slowdowns.dir/table3_max_slowdowns.cpp.o"
+  "CMakeFiles/table3_max_slowdowns.dir/table3_max_slowdowns.cpp.o.d"
+  "table3_max_slowdowns"
+  "table3_max_slowdowns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_max_slowdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_speedups.dir/table4_speedups.cpp.o"
+  "CMakeFiles/table4_speedups.dir/table4_speedups.cpp.o.d"
+  "table4_speedups"
+  "table4_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cpp" "src/CMakeFiles/svmsim.dir/apps/app.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/apps/app.cpp.o.d"
+  "/root/repo/src/apps/barnes.cpp" "src/CMakeFiles/svmsim.dir/apps/barnes.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/apps/barnes.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/CMakeFiles/svmsim.dir/apps/fft.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/apps/fft.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/CMakeFiles/svmsim.dir/apps/lu.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/apps/lu.cpp.o.d"
+  "/root/repo/src/apps/ocean.cpp" "src/CMakeFiles/svmsim.dir/apps/ocean.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/apps/ocean.cpp.o.d"
+  "/root/repo/src/apps/radix.cpp" "src/CMakeFiles/svmsim.dir/apps/radix.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/apps/radix.cpp.o.d"
+  "/root/repo/src/apps/raytrace.cpp" "src/CMakeFiles/svmsim.dir/apps/raytrace.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/apps/raytrace.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/CMakeFiles/svmsim.dir/apps/registry.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/apps/registry.cpp.o.d"
+  "/root/repo/src/apps/volrend.cpp" "src/CMakeFiles/svmsim.dir/apps/volrend.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/apps/volrend.cpp.o.d"
+  "/root/repo/src/apps/water_nsquared.cpp" "src/CMakeFiles/svmsim.dir/apps/water_nsquared.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/apps/water_nsquared.cpp.o.d"
+  "/root/repo/src/apps/water_spatial.cpp" "src/CMakeFiles/svmsim.dir/apps/water_spatial.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/apps/water_spatial.cpp.o.d"
+  "/root/repo/src/core/machine.cpp" "src/CMakeFiles/svmsim.dir/core/machine.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/core/machine.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/CMakeFiles/svmsim.dir/core/node.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/core/node.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/svmsim.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/core/params.cpp.o.d"
+  "/root/repo/src/core/processor.cpp" "src/CMakeFiles/svmsim.dir/core/processor.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/core/processor.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/svmsim.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/core/runner.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/svmsim.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/core/stats.cpp.o.d"
+  "/root/repo/src/engine/event_queue.cpp" "src/CMakeFiles/svmsim.dir/engine/event_queue.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/engine/event_queue.cpp.o.d"
+  "/root/repo/src/engine/resource.cpp" "src/CMakeFiles/svmsim.dir/engine/resource.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/engine/resource.cpp.o.d"
+  "/root/repo/src/engine/simulator.cpp" "src/CMakeFiles/svmsim.dir/engine/simulator.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/engine/simulator.cpp.o.d"
+  "/root/repo/src/harness/cli.cpp" "src/CMakeFiles/svmsim.dir/harness/cli.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/harness/cli.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/CMakeFiles/svmsim.dir/harness/report.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/harness/report.cpp.o.d"
+  "/root/repo/src/harness/sweep.cpp" "src/CMakeFiles/svmsim.dir/harness/sweep.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/harness/sweep.cpp.o.d"
+  "/root/repo/src/memsys/cache.cpp" "src/CMakeFiles/svmsim.dir/memsys/cache.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/memsys/cache.cpp.o.d"
+  "/root/repo/src/memsys/memory_bus.cpp" "src/CMakeFiles/svmsim.dir/memsys/memory_bus.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/memsys/memory_bus.cpp.o.d"
+  "/root/repo/src/memsys/memory_system.cpp" "src/CMakeFiles/svmsim.dir/memsys/memory_system.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/memsys/memory_system.cpp.o.d"
+  "/root/repo/src/memsys/write_buffer.cpp" "src/CMakeFiles/svmsim.dir/memsys/write_buffer.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/memsys/write_buffer.cpp.o.d"
+  "/root/repo/src/net/io_bus.cpp" "src/CMakeFiles/svmsim.dir/net/io_bus.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/net/io_bus.cpp.o.d"
+  "/root/repo/src/net/messaging.cpp" "src/CMakeFiles/svmsim.dir/net/messaging.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/net/messaging.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/svmsim.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/CMakeFiles/svmsim.dir/net/nic.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/net/nic.cpp.o.d"
+  "/root/repo/src/svm/address_space.cpp" "src/CMakeFiles/svmsim.dir/svm/address_space.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/svm/address_space.cpp.o.d"
+  "/root/repo/src/svm/aurc.cpp" "src/CMakeFiles/svmsim.dir/svm/aurc.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/svm/aurc.cpp.o.d"
+  "/root/repo/src/svm/barrier_manager.cpp" "src/CMakeFiles/svmsim.dir/svm/barrier_manager.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/svm/barrier_manager.cpp.o.d"
+  "/root/repo/src/svm/diff.cpp" "src/CMakeFiles/svmsim.dir/svm/diff.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/svm/diff.cpp.o.d"
+  "/root/repo/src/svm/hlrc.cpp" "src/CMakeFiles/svmsim.dir/svm/hlrc.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/svm/hlrc.cpp.o.d"
+  "/root/repo/src/svm/lock_manager.cpp" "src/CMakeFiles/svmsim.dir/svm/lock_manager.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/svm/lock_manager.cpp.o.d"
+  "/root/repo/src/svm/page_directory.cpp" "src/CMakeFiles/svmsim.dir/svm/page_directory.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/svm/page_directory.cpp.o.d"
+  "/root/repo/src/svm/vclock.cpp" "src/CMakeFiles/svmsim.dir/svm/vclock.cpp.o" "gcc" "src/CMakeFiles/svmsim.dir/svm/vclock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_nic.dir/test_multi_nic.cpp.o"
+  "CMakeFiles/test_multi_nic.dir/test_multi_nic.cpp.o.d"
+  "test_multi_nic"
+  "test_multi_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_directory.dir/test_page_directory.cpp.o"
+  "CMakeFiles/test_page_directory.dir/test_page_directory.cpp.o.d"
+  "test_page_directory"
+  "test_page_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
