@@ -27,6 +27,13 @@ Options Options::parse(int argc, char** argv) {
   } else {
     opt.app_names = apps::suite();
   }
+  opt.jobs = static_cast<int>(cli.get_int(
+      "jobs", static_cast<long>(harness::JobPool::hardware_default())));
+  opt.jobs = std::max(1, opt.jobs);
+  if (opt.jobs > 1) {
+    opt.pool_ = std::make_shared<harness::JobPool>(
+        static_cast<unsigned>(opt.jobs));
+  }
   return opt;
 }
 
@@ -34,6 +41,21 @@ SimConfig base_config() {
   SimConfig cfg;
   cfg.comm = CommParams::achievable();
   return cfg;
+}
+
+std::vector<harness::SweepPoint> suite_points(
+    const std::vector<double>& values,
+    const std::function<void(SimConfig&, double)>& apply, const Options& opt) {
+  std::vector<harness::SweepPoint> points;
+  points.reserve(opt.app_names.size() * values.size());
+  for (const auto& app : opt.app_names) {
+    for (double v : values) {
+      harness::SweepPoint p{app, base_config(), v};
+      apply(p.cfg, v);
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
 }
 
 std::vector<std::vector<harness::AppRun>> run_figure(
@@ -50,10 +72,18 @@ std::vector<std::vector<harness::AppRun>> run_figure(
   for (double v : values) header.push_back(param_name + "=" + label(v));
   harness::Table table(header);
 
+  // One flat batch across the whole suite: with --jobs > 1 every
+  // (app, value) point runs concurrently, not just the points of one app.
+  std::vector<harness::AppRun> flat =
+      sweep.run_points(suite_points(values, apply, opt), opt.pool());
+
   std::vector<std::vector<harness::AppRun>> all;
+  auto it = flat.begin();
   for (const auto& app : opt.app_names) {
-    std::vector<harness::AppRun> runs =
-        sweep.run_sweep(app, base_config(), values, apply);
+    std::vector<harness::AppRun> runs(
+        std::make_move_iterator(it),
+        std::make_move_iterator(it + static_cast<std::ptrdiff_t>(values.size())));
+    it += static_cast<std::ptrdiff_t>(values.size());
     std::vector<std::string> row{app};
     for (const auto& r : runs) row.push_back(harness::fmt(r.speedup()));
     table.add_row(std::move(row));

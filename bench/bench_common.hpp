@@ -4,15 +4,19 @@
 //   --scale=tiny|small|large   problem sizes (default small)
 //   --csv=<dir>                also dump machine-readable CSV
 //   --apps=a,b,c               restrict to a subset of the suite
+//   --jobs=N                   run up to N simulation points concurrently
+//                              (default: hardware concurrency; 1 = serial)
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/registry.hpp"
 #include "core/params.hpp"
 #include "harness/cli.hpp"
+#include "harness/job_pool.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
 
@@ -22,16 +26,30 @@ struct Options {
   apps::Scale scale = apps::Scale::kSmall;
   std::string csv_dir;
   std::vector<std::string> app_names;
+  int jobs = 1;
 
   static Options parse(int argc, char** argv);
+
+  /// The shared worker pool implied by --jobs, or nullptr when serial.
+  [[nodiscard]] harness::JobPool* pool() const { return pool_.get(); }
+
+ private:
+  std::shared_ptr<harness::JobPool> pool_;
 };
 
 /// The paper's default machine at the achievable point.
 [[nodiscard]] SimConfig base_config();
 
+/// All points of an app-suite sweep (opt.app_names x values), in row-major
+/// order, ready for Sweep::run_points.
+[[nodiscard]] std::vector<harness::SweepPoint> suite_points(
+    const std::vector<double>& values,
+    const std::function<void(SimConfig&, double)>& apply, const Options& opt);
+
 /// Run one parameter sweep over the whole suite and print the figure's
 /// series: one row per application, one speedup column per parameter value.
-/// Returns all runs (apps x values) for further analysis.
+/// Points run concurrently under opt.pool(). Returns all runs
+/// (apps x values) for further analysis.
 std::vector<std::vector<harness::AppRun>> run_figure(
     const std::string& figure, const std::string& param_name,
     const std::vector<double>& values,

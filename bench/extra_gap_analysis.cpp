@@ -10,30 +10,37 @@ int main(int argc, char** argv) {
   auto opt = bench::Options::parse(argc, argv);
   harness::Sweep sweep(opt.scale);
 
+  SimConfig no_intr = bench::base_config();
+  no_intr.comm.interrupt_cost = 0;
+  SimConfig bw4 = bench::base_config();
+  bw4.comm.io_bus_mb_per_mhz *= 4.0;
+  SimConfig local = bench::base_config();
+  local.disable_remote_fetches = true;
+  SimConfig best = bench::base_config();
+  best.comm = CommParams::best();
+
+  const SimConfig variants[] = {bench::base_config(), no_intr, bw4, local,
+                                best};
+  constexpr std::size_t kVariants = std::size(variants);
+
+  std::vector<harness::SweepPoint> points;
+  for (const auto& app : opt.app_names) {
+    for (std::size_t v = 0; v < kVariants; ++v) {
+      points.push_back({app, variants[v], static_cast<double>(v)});
+    }
+  }
+  auto runs = sweep.run_points(points, opt.pool());
+
   harness::Table t({"application", "achievable", "free interrupts",
                     "4x I/O bandwidth", "local fetches", "best", "ideal"});
-  for (const auto& app : opt.app_names) {
-    auto ach = sweep.run_point(app, bench::base_config(), 0);
-
-    SimConfig no_intr = bench::base_config();
-    no_intr.comm.interrupt_cost = 0;
-    auto r_no_intr = sweep.run_point(app, no_intr, 1);
-
-    SimConfig bw4 = bench::base_config();
-    bw4.comm.io_bus_mb_per_mhz *= 4.0;
-    auto r_bw4 = sweep.run_point(app, bw4, 2);
-
-    SimConfig local = bench::base_config();
-    local.disable_remote_fetches = true;
-    auto r_local = sweep.run_point(app, local, 3);
-
-    SimConfig best = bench::base_config();
-    best.comm = CommParams::best();
-    auto r_best = sweep.run_point(app, best, 4);
-
-    t.add_row({app, harness::fmt(ach.speedup()),
-               harness::fmt(r_no_intr.speedup()), harness::fmt(r_bw4.speedup()),
-               harness::fmt(r_local.speedup()), harness::fmt(r_best.speedup()),
+  for (std::size_t i = 0; i < opt.app_names.size(); ++i) {
+    const auto* row_runs = &runs[i * kVariants];
+    const auto& ach = row_runs[0];
+    t.add_row({opt.app_names[i], harness::fmt(ach.speedup()),
+               harness::fmt(row_runs[1].speedup()),
+               harness::fmt(row_runs[2].speedup()),
+               harness::fmt(row_runs[3].speedup()),
+               harness::fmt(row_runs[4].speedup()),
                harness::fmt(ach.ideal_speedup())});
     std::fprintf(stderr, ".");
     std::fflush(stderr);

@@ -11,16 +11,23 @@ int main(int argc, char** argv) {
 
   // (a) Interrupt cost sweep with uniprocessor nodes.
   {
-    harness::Table t({"application", "intr=0", "intr=500", "intr=2500",
-                      "intr=5000"});
+    std::vector<harness::SweepPoint> points;
     for (const auto& app : opt.app_names) {
-      std::vector<std::string> row{app};
       for (double v : {0.0, 500.0, 2500.0, 5000.0}) {
         SimConfig cfg = bench::base_config();
         cfg.comm.procs_per_node = 1;
         cfg.comm.interrupt_cost = static_cast<Cycles>(v);
-        auto run = sweep.run_point(app, cfg, v);
-        row.push_back(harness::fmt(run.speedup()));
+        points.push_back({app, cfg, v});
+      }
+    }
+    auto runs = sweep.run_points(points, opt.pool());
+
+    harness::Table t({"application", "intr=0", "intr=500", "intr=2500",
+                      "intr=5000"});
+    for (std::size_t i = 0; i < opt.app_names.size(); ++i) {
+      std::vector<std::string> row{opt.app_names[i]};
+      for (std::size_t c = 0; c < 4; ++c) {
+        row.push_back(harness::fmt(runs[i * 4 + c].speedup()));
         std::fprintf(stderr, ".");
         std::fflush(stderr);
       }
@@ -35,15 +42,22 @@ int main(int argc, char** argv) {
 
   // (b) Fixed processor-0 delivery vs round-robin.
   {
-    harness::Table t({"application", "fixed-proc0", "round-robin"});
+    std::vector<harness::SweepPoint> points;
     for (const auto& app : opt.app_names) {
-      std::vector<std::string> row{app};
       for (auto scheme : {InterruptScheme::kFixedProcessor,
                           InterruptScheme::kRoundRobin}) {
         SimConfig cfg = bench::base_config();
         cfg.comm.interrupt_scheme = scheme;
-        auto run = sweep.run_point(app, cfg, static_cast<double>(scheme));
-        row.push_back(harness::fmt(run.speedup()));
+        points.push_back({app, cfg, static_cast<double>(scheme)});
+      }
+    }
+    auto runs = sweep.run_points(points, opt.pool());
+
+    harness::Table t({"application", "fixed-proc0", "round-robin"});
+    for (std::size_t i = 0; i < opt.app_names.size(); ++i) {
+      std::vector<std::string> row{opt.app_names[i]};
+      for (std::size_t c = 0; c < 2; ++c) {
+        row.push_back(harness::fmt(runs[i * 2 + c].speedup()));
         std::fprintf(stderr, ".");
         std::fflush(stderr);
       }

@@ -11,15 +11,22 @@ int main(int argc, char** argv) {
   harness::Sweep sweep(opt.scale);
 
   for (double bw : {0.5, 0.125}) {
-    harness::Table t({"application", "1 NI", "2 NIs", "4 NIs"});
+    std::vector<harness::SweepPoint> points;
     for (const auto& app : opt.app_names) {
-      std::vector<std::string> row{app};
       for (int nics : {1, 2, 4}) {
         SimConfig cfg = bench::base_config();
         cfg.comm.io_bus_mb_per_mhz = bw;
         cfg.comm.nics_per_node = nics;
-        row.push_back(
-            harness::fmt(sweep.run_point(app, cfg, nics).speedup()));
+        points.push_back({app, cfg, static_cast<double>(nics)});
+      }
+    }
+    auto runs = sweep.run_points(points, opt.pool());
+
+    harness::Table t({"application", "1 NI", "2 NIs", "4 NIs"});
+    for (std::size_t i = 0; i < opt.app_names.size(); ++i) {
+      std::vector<std::string> row{opt.app_names[i]};
+      for (std::size_t c = 0; c < 3; ++c) {
+        row.push_back(harness::fmt(runs[i * 3 + c].speedup()));
         std::fprintf(stderr, ".");
         std::fflush(stderr);
       }

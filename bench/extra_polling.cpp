@@ -12,23 +12,30 @@ int main(int argc, char** argv) {
   auto opt = bench::Options::parse(argc, argv);
   harness::Sweep sweep(opt.scale);
 
-  harness::Table t({"application", "intr cost=500", "intr cost=2500",
-                    "intr cost=5000", "polling (1K tick)",
-                    "polling (4K tick)"});
+  std::vector<harness::SweepPoint> points;
   for (const auto& app : opt.app_names) {
-    std::vector<std::string> row{app};
     for (double v : {500.0, 2500.0, 5000.0}) {
       SimConfig cfg = bench::base_config();
       cfg.comm.interrupt_cost = static_cast<Cycles>(v);
-      row.push_back(harness::fmt(sweep.run_point(app, cfg, v).speedup()));
-      std::fprintf(stderr, ".");
-      std::fflush(stderr);
+      points.push_back({app, cfg, v});
     }
     for (double tick : {1000.0, 4000.0}) {
       SimConfig cfg = bench::base_config();
       cfg.comm.interrupt_scheme = InterruptScheme::kPolling;
       cfg.comm.poll_interval = static_cast<Cycles>(tick);
-      row.push_back(harness::fmt(sweep.run_point(app, cfg, tick).speedup()));
+      points.push_back({app, cfg, tick});
+    }
+  }
+  auto runs = sweep.run_points(points, opt.pool());
+  constexpr std::size_t kCols = 5;
+
+  harness::Table t({"application", "intr cost=500", "intr cost=2500",
+                    "intr cost=5000", "polling (1K tick)",
+                    "polling (4K tick)"});
+  for (std::size_t i = 0; i < opt.app_names.size(); ++i) {
+    std::vector<std::string> row{opt.app_names[i]};
+    for (std::size_t c = 0; c < kCols; ++c) {
+      row.push_back(harness::fmt(runs[i * kCols + c].speedup()));
       std::fprintf(stderr, ".");
       std::fflush(stderr);
     }

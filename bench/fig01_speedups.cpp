@@ -9,10 +9,15 @@ int main(int argc, char** argv) {
   auto opt = bench::Options::parse(argc, argv);
   harness::Sweep sweep(opt.scale);
 
-  harness::Table t({"application", "achievable speedup", "ideal speedup"});
+  std::vector<harness::SweepPoint> points;
   for (const auto& app : opt.app_names) {
-    auto run = sweep.run_point(app, bench::base_config(), 0);
-    t.add_row({app, harness::fmt(run.speedup()),
+    points.push_back({app, bench::base_config(), 0});
+  }
+  auto runs = sweep.run_points(points, opt.pool());
+
+  harness::Table t({"application", "achievable speedup", "ideal speedup"});
+  for (const auto& run : runs) {
+    t.add_row({run.app, harness::fmt(run.speedup()),
                harness::fmt(run.ideal_speedup())});
     std::fprintf(stderr, ".");
     std::fflush(stderr);

@@ -1,0 +1,129 @@
+// Self-measurement for the parallel sweep executor: runs the same multi-app
+// host-overhead sweep serially and under --jobs N, checks the results are
+// identical, and reports wall-clock time and simulation throughput
+// (events/sec) for both, machine-readably.
+//
+//   ./perf_selfcheck [--scale=tiny] [--jobs=N] [--apps=a,b,c]
+//                    [--out=BENCH_sweep.json]
+//
+// Exit status is nonzero if the parallel results differ from the serial
+// ones, so this doubles as a determinism check for CI.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using svmsim::harness::AppRun;
+
+struct Measurement {
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0.0;
+  }
+};
+
+Measurement measure(std::vector<AppRun>& out,
+                    const std::vector<svmsim::harness::SweepPoint>& points,
+                    svmsim::apps::Scale scale, svmsim::harness::JobPool* pool) {
+  // A fresh Sweep each time so the baseline cache is cold for both arms.
+  svmsim::harness::Sweep sweep(scale);
+  const auto t0 = std::chrono::steady_clock::now();
+  out = sweep.run_points(points, pool);
+  const auto t1 = std::chrono::steady_clock::now();
+  Measurement m;
+  m.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const auto& r : out) m.events += r.result.events;
+  return m;
+}
+
+bool identical(const std::vector<AppRun>& a, const std::vector<AppRun>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].app != b[i].app || a[i].param != b[i].param ||
+        a[i].uniprocessor != b[i].uniprocessor ||
+        a[i].result.time != b[i].result.time ||
+        a[i].result.events != b[i].result.events ||
+        !(a[i].result.stats == b[i].result.stats)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace svmsim;
+  harness::Cli cli(argc, argv);
+  // Re-parse through the bench options for scale/apps/jobs handling, but
+  // default to tiny scale: this is a self-check, not a figure.
+  auto opt = bench::Options::parse(argc, argv);
+  if (!cli.get("scale")) opt.scale = apps::Scale::kTiny;
+  const std::string out_path = cli.get_or("out", "BENCH_sweep.json");
+  const unsigned jobs =
+      opt.jobs > 1 ? static_cast<unsigned>(opt.jobs)
+                   : harness::JobPool::hardware_default();
+
+  // The fig05 host-overhead sweep: a representative all-independent batch.
+  const std::vector<double> values{0, 500, 1000, 2000};
+  const auto apply = [](SimConfig& c, double v) {
+    c.comm.host_overhead = static_cast<Cycles>(v);
+  };
+  const auto points = bench::suite_points(values, apply, opt);
+
+  std::fprintf(stderr, "perf_selfcheck: %zu points (%zu apps x %zu values), "
+               "serial then --jobs=%u\n",
+               points.size(), opt.app_names.size(), values.size(), jobs);
+
+  std::vector<AppRun> serial_runs;
+  const Measurement serial = measure(serial_runs, points, opt.scale, nullptr);
+
+  std::vector<AppRun> parallel_runs;
+  harness::JobPool pool(jobs);
+  const Measurement parallel =
+      measure(parallel_runs, points, opt.scale, &pool);
+
+  const bool same = identical(serial_runs, parallel_runs);
+  const double speedup = parallel.wall_seconds > 0
+                             ? serial.wall_seconds / parallel.wall_seconds
+                             : 0.0;
+
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"bench\": \"sweep\",\n"
+       << "  \"points\": " << points.size() << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"hardware_threads\": " << harness::JobPool::hardware_default()
+       << ",\n"
+       << "  \"serial\": {\"wall_seconds\": " << serial.wall_seconds
+       << ", \"events\": " << serial.events
+       << ", \"events_per_sec\": " << serial.events_per_sec() << "},\n"
+       << "  \"parallel\": {\"wall_seconds\": " << parallel.wall_seconds
+       << ", \"events\": " << parallel.events
+       << ", \"events_per_sec\": " << parallel.events_per_sec() << "},\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"identical_results\": " << (same ? "true" : "false") << "\n"
+       << "}\n";
+  json.close();
+
+  std::printf("== perf_selfcheck: serial vs --jobs=%u sweep ==\n", jobs);
+  harness::Table t({"arm", "wall seconds", "events", "events/sec"});
+  t.add_row({"serial", harness::fmt(serial.wall_seconds, 3),
+             std::to_string(serial.events),
+             harness::fmt(serial.events_per_sec(), 0)});
+  t.add_row({"parallel", harness::fmt(parallel.wall_seconds, 3),
+             std::to_string(parallel.events),
+             harness::fmt(parallel.events_per_sec(), 0)});
+  t.print();
+  std::printf("speedup: %.2fx, identical results: %s (written to %s)\n",
+              speedup, same ? "yes" : "NO", out_path.c_str());
+
+  return same ? 0 : 1;
+}

@@ -49,11 +49,28 @@ int main(int argc, char** argv) {
   for (const auto& p : params) header.emplace_back(p.name);
   harness::Table t(header);
 
+  // One flat batch: every (app, parameter, endpoint) point is independent.
+  std::vector<harness::SweepPoint> points;
+  for (const auto& app : opt.app_names) {
+    for (const auto& p : params) {
+      for (double v : p.endpoints) {
+        harness::SweepPoint pt{app, bench::base_config(), v};
+        p.apply(pt.cfg, v);
+        points.push_back(std::move(pt));
+      }
+    }
+  }
+  auto all = sweep.run_points(points, opt.pool());
+
+  auto it = all.begin();
   for (const auto& app : opt.app_names) {
     std::vector<std::string> row{app};
     for (const auto& p : params) {
-      auto runs = sweep.run_sweep(app, bench::base_config(), p.endpoints,
-                                  p.apply);
+      std::vector<harness::AppRun> runs(
+          std::make_move_iterator(it),
+          std::make_move_iterator(
+              it + static_cast<std::ptrdiff_t>(p.endpoints.size())));
+      it += static_cast<std::ptrdiff_t>(p.endpoints.size());
       row.push_back(harness::fmt(harness::max_slowdown_pct(runs), 1) + "%");
       std::fprintf(stderr, ".");
       std::fflush(stderr);

@@ -8,14 +8,21 @@ int main(int argc, char** argv) {
   auto opt = bench::Options::parse(argc, argv);
   harness::Sweep sweep(opt.scale);
 
-  harness::Table t({"application", "best", "achievable", "ideal"});
+  SimConfig best_cfg = bench::base_config();
+  best_cfg.comm = CommParams::best();
+  std::vector<harness::SweepPoint> points;
   for (const auto& app : opt.app_names) {
-    SimConfig best_cfg = bench::base_config();
-    best_cfg.comm = CommParams::best();
-    auto best = sweep.run_point(app, best_cfg, 0);
-    auto ach = sweep.run_point(app, bench::base_config(), 1);
-    t.add_row({app, harness::fmt(best.speedup()), harness::fmt(ach.speedup()),
-               harness::fmt(ach.ideal_speedup())});
+    points.push_back({app, best_cfg, 0});
+    points.push_back({app, bench::base_config(), 1});
+  }
+  auto runs = sweep.run_points(points, opt.pool());
+
+  harness::Table t({"application", "best", "achievable", "ideal"});
+  for (std::size_t i = 0; i < opt.app_names.size(); ++i) {
+    const auto& best = runs[2 * i];
+    const auto& ach = runs[2 * i + 1];
+    t.add_row({opt.app_names[i], harness::fmt(best.speedup()),
+               harness::fmt(ach.speedup()), harness::fmt(ach.ideal_speedup())});
     std::fprintf(stderr, ".");
     std::fflush(stderr);
   }

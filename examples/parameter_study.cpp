@@ -2,14 +2,17 @@
 // its end performance depends on each communication parameter, holding the
 // others at the achievable point (paper section 3).
 //
-//   ./parameter_study [app] [--scale=tiny|small|large]
+//   ./parameter_study [app] [--scale=tiny|small|large] [--jobs=N]
+#include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/registry.hpp"
 #include "harness/cli.hpp"
+#include "harness/job_pool.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
 
@@ -53,11 +56,19 @@ int main(int argc, char** argv) {
   base.comm = CommParams::achievable();
   harness::Sweep sweep(scale);
 
+  // Independent simulation points run concurrently under --jobs (default:
+  // one per hardware thread; --jobs=1 forces the serial path).
+  const auto jobs = static_cast<unsigned>(std::max(
+      1l, cli.get_int("jobs",
+                      static_cast<long>(harness::JobPool::hardware_default()))));
+  std::unique_ptr<harness::JobPool> pool;
+  if (jobs > 1) pool = std::make_unique<harness::JobPool>(jobs);
+
   std::printf("parameter sensitivity of '%s' (16 processors, 4 per node)\n\n",
               app.c_str());
   harness::Table table({"parameter", "value", "speedup", "slowdown vs best"});
   for (const auto& s : studies) {
-    auto runs = sweep.run_sweep(app, base, s.values, s.apply);
+    auto runs = sweep.run_sweep(app, base, s.values, s.apply, pool.get());
     double best = 0;
     for (const auto& r : runs) best = std::max(best, r.speedup());
     for (const auto& r : runs) {

@@ -51,6 +51,7 @@ RunResult run(Workload& w, const SimConfig& cfg, Cycles max_cycles) {
 
   RunResult r;
   r.stats = m.stats();
+  r.events = m.sim().queue().events_fired();
   for (ProcId pid = 0; pid < n; ++pid) {
     r.time = std::max(r.time, m.proc(pid).finished_at());
   }

@@ -35,6 +35,7 @@ class Workload {
 struct RunResult {
   Cycles time = 0;     ///< parallel execution time (last processor finish)
   Stats stats{0};
+  std::uint64_t events = 0;  ///< discrete events fired by the simulation
   bool validated = false;
 
   /// Per-processor rate of `events` per million compute cycles, averaged

@@ -54,6 +54,7 @@ struct Breakdown {
     for (int i = 0; i < kTimeCats; ++i) t[i] += o.t[i];
     return *this;
   }
+  bool operator==(const Breakdown&) const = default;
 };
 
 /// Protocol/communication event counts (whole machine unless noted).
@@ -85,6 +86,7 @@ struct Counters {
   std::uint64_t ni_queue_overflows = 0;
 
   Counters& operator+=(const Counters& o) noexcept;
+  bool operator==(const Counters&) const = default;
 };
 
 /// Per-run statistics: one breakdown per processor plus global counters.
@@ -109,6 +111,8 @@ class Stats {
   /// Max over processors of compute + local stall (ideal-time denominator).
   [[nodiscard]] Cycles max_local_only() const;
   [[nodiscard]] Cycles total_compute() const;
+
+  bool operator==(const Stats&) const = default;
 
  private:
   std::vector<Breakdown> per_proc_;

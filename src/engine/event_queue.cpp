@@ -1,21 +1,48 @@
 #include "engine/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace svmsim::engine {
 
+std::vector<EventQueue::Event>& EventQueue::spare_slot() {
+  // One drained event vector per thread, recycled across EventQueue
+  // lifetimes so consecutive runs (a sweep on this thread) reuse warmed-up
+  // capacity instead of regrowing from zero. thread_local keeps the parallel
+  // sweep executor's workers from ever sharing storage.
+  thread_local std::vector<Event> spare;
+  return spare;
+}
+
+EventQueue::EventQueue() : heap_(std::move(spare_slot())) {
+  heap_.clear();
+  if (heap_.capacity() < 256) heap_.reserve(256);
+}
+
+EventQueue::~EventQueue() {
+  heap_.clear();
+  if (heap_.capacity() > spare_slot().capacity()) {
+    spare_slot() = std::move(heap_);
+  }
+}
+
 void EventQueue::schedule_at(Cycles when, Action action) {
   assert(when >= now_ && "cannot schedule an event in the past");
-  heap_.push(Event{when, next_seq_++, std::move(action)});
+  heap_.push_back(Event{when, next_seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+EventQueue::Event EventQueue::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
 }
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast, which is safe
-  // because we pop immediately and never reuse the slot.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  Event ev = pop_top();
   now_ = ev.when;
   ++fired_;
   ev.action();
@@ -29,7 +56,7 @@ void EventQueue::run_until_idle() {
 
 bool EventQueue::run_until(Cycles deadline) {
   while (!heap_.empty()) {
-    if (heap_.top().when > deadline) return false;
+    if (heap_.front().when > deadline) return false;
     step();
   }
   return true;

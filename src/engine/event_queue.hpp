@@ -3,21 +3,37 @@
 // Events are (time, sequence) ordered; the sequence number makes simultaneous
 // events fire in insertion order, which keeps every simulation run
 // bit-reproducible regardless of heap internals.
+//
+// Hot-path notes: callbacks are stored in a small-buffer-optimized
+// InlineAction (no per-event heap allocation for typical captures), the heap
+// is a plain std::vector driven by std::push_heap/pop_heap so its storage can
+// be reserved, and drained event vectors are recycled through a thread-local
+// spare slot so back-to-back simulations on one thread skip the allocator
+// warm-up entirely.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "engine/inline_function.hpp"
 #include "engine/types.hpp"
 
 namespace svmsim::engine {
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  /// Inline capacity of 24 bytes covers the captures the simulator's hot
+  /// resumption paths create (a coroutine handle, or this + a handle or
+  /// two) while keeping Event at 64 bytes — one cache line; larger workload
+  /// captures fall back to one heap allocation.
+  using Action = BasicInlineAction<24>;
+
+  EventQueue();
+  ~EventQueue();
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Current simulated time. Advances only inside run()/step().
   [[nodiscard]] Cycles now() const noexcept { return now_; }
@@ -29,6 +45,9 @@ class EventQueue {
   void schedule_in(Cycles delay, Action action) {
     schedule_at(now_ + delay, std::move(action));
   }
+
+  /// Pre-size the event storage (events, not bytes).
+  void reserve(std::size_t events) { heap_.reserve(events); }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
@@ -57,7 +76,13 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Pop the earliest event off the heap (caller checked non-empty).
+  Event pop_top();
+
+  /// Per-thread recycled event storage (see event_queue.cpp).
+  static std::vector<Event>& spare_slot();
+
+  std::vector<Event> heap_;
   Cycles now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;

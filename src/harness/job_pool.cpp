@@ -1,0 +1,68 @@
+#include "harness/job_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace svmsim::harness {
+
+unsigned JobPool::hardware_default() noexcept {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+JobPool::JobPool(unsigned threads) {
+  if (threads == 0) threads = hardware_default();
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobPool::~JobPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void JobPool::run(std::vector<Job> jobs) {
+  if (jobs.empty()) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  batch_ = &jobs;
+  next_ = 0;
+  remaining_ = jobs.size();
+  first_error_ = nullptr;
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [this] { return remaining_ == 0; });
+  batch_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr e = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void JobPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] {
+      return stop_ || (batch_ != nullptr && next_ < batch_->size());
+    });
+    if (stop_) return;
+    const std::size_t i = next_++;
+    Job& job = (*batch_)[i];
+    lk.unlock();
+    try {
+      job();
+    } catch (...) {
+      lk.lock();
+      if (!first_error_) first_error_ = std::current_exception();
+      lk.unlock();
+    }
+    lk.lock();
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace svmsim::harness

@@ -1,26 +1,29 @@
 #include "harness/sweep.hpp"
 
 #include <algorithm>
-#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace svmsim::harness {
 
 Cycles Sweep::baseline(const std::string& app, const SimConfig& base) {
-  std::ostringstream key;
-  key << app << "/pg" << base.comm.page_bytes << "/"
-      << to_string(base.comm.protocol);
-  auto it = baselines_.find(key.str());
-  if (it != baselines_.end()) return it->second;
-
+  const BaselineKey key = key_of(app, base);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = baselines_.find(key);
+    if (it != baselines_.end()) return it->second;
+  }
+  // Simulate outside the lock so concurrent callers computing different
+  // baselines overlap. Two threads racing on the same key both compute the
+  // same deterministic value; emplace keeps the first.
   auto w = apps::make_app(app, scale_);
   const SimConfig uni = uniprocessor_config(base);
   RunResult r = run(*w, uni);
   if (!r.validated) {
     throw std::runtime_error(app + ": uniprocessor run failed validation");
   }
-  baselines_.emplace(key.str(), r.time);
-  return r.time;
+  std::lock_guard<std::mutex> lk(mu_);
+  return baselines_.emplace(key, r.time).first->second;
 }
 
 AppRun Sweep::run_point(const std::string& app, const SimConfig& cfg,
@@ -37,18 +40,63 @@ AppRun Sweep::run_point(const std::string& app, const SimConfig& cfg,
   return out;
 }
 
+void Sweep::prewarm_baselines(const std::vector<SweepPoint>& points,
+                              JobPool* pool) {
+  std::vector<const SweepPoint*> distinct;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::map<BaselineKey, bool> seen;
+    for (const auto& p : points) {
+      const BaselineKey key = key_of(p.app, p.cfg);
+      if (baselines_.contains(key) ||
+          !seen.emplace(key, true).second) {
+        continue;
+      }
+      distinct.push_back(&p);
+    }
+  }
+  std::vector<JobPool::Job> jobs;
+  jobs.reserve(distinct.size());
+  for (const SweepPoint* p : distinct) {
+    jobs.push_back([this, p] { baseline(p->app, p->cfg); });
+  }
+  pool->run(std::move(jobs));
+}
+
+std::vector<AppRun> Sweep::run_points(const std::vector<SweepPoint>& points,
+                                      JobPool* pool) {
+  std::vector<AppRun> out(points.size());
+  if (pool == nullptr || pool->size() <= 1 || points.size() <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      out[i] = run_point(points[i].app, points[i].cfg, points[i].value);
+    }
+    return out;
+  }
+  // Baselines first, so the fan-out below never computes one twice.
+  prewarm_baselines(points, pool);
+  std::vector<JobPool::Job> jobs;
+  jobs.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    jobs.push_back([this, &points, &out, i] {
+      out[i] = run_point(points[i].app, points[i].cfg, points[i].value);
+    });
+  }
+  pool->run(std::move(jobs));
+  return out;
+}
+
 std::vector<AppRun> Sweep::run_sweep(
     const std::string& app, const SimConfig& base,
     const std::vector<double>& values,
-    const std::function<void(SimConfig&, double)>& apply) {
-  std::vector<AppRun> out;
-  out.reserve(values.size());
+    const std::function<void(SimConfig&, double)>& apply, JobPool* pool) {
+  std::vector<SweepPoint> points;
+  points.reserve(values.size());
   for (double v : values) {
-    SimConfig cfg = base;
-    apply(cfg, v);
-    out.push_back(run_point(app, cfg, v));
+    SweepPoint p{app, base, v};
+    apply(p.cfg, v);
+    points.push_back(std::move(p));
   }
-  return out;
+  return run_points(points, pool);
 }
 
 double max_slowdown_pct(const std::vector<AppRun>& runs) {
@@ -57,7 +105,9 @@ double max_slowdown_pct(const std::vector<AppRun>& runs) {
   // value of the swept parameter: first point vs last point.
   const double fast = runs.front().speedup();
   const double slow = runs.back().speedup();
-  if (slow <= 0.0) return 0.0;
+  // A non-positive speedup at either endpoint means that run is invalid
+  // (zero time or zero baseline); there is no meaningful slowdown to report.
+  if (fast <= 0.0 || slow <= 0.0) return 0.0;
   return (fast / slow - 1.0) * 100.0;
 }
 

@@ -2,16 +2,27 @@
 // application suite across a list of configurations, caching the
 // uniprocessor baseline per application, and computes the paper's speedup
 // metrics (achievable / best / ideal).
+//
+// Thread-safety contract: baseline(), run_point() and run_points() may be
+// called from several threads at once (the baseline cache is internally
+// locked and simulations share no state). run_points() with a JobPool fans
+// the points out across the pool's workers after pre-warming every distinct
+// baseline, and its results are bit-identical to the serial path: each point
+// owns its Machine/EventQueue and writes an insertion-ordered result slot.
 #pragma once
 
+#include <compare>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "apps/registry.hpp"
 #include "core/params.hpp"
 #include "core/runner.hpp"
+#include "harness/job_pool.hpp"
 
 namespace svmsim::harness {
 
@@ -37,6 +48,13 @@ struct AppRun {
   }
 };
 
+/// One simulation point of a sweep: an application at a configuration.
+struct SweepPoint {
+  std::string app;
+  SimConfig cfg;
+  double value = 0.0;  ///< recorded as AppRun::param
+};
+
 class Sweep {
  public:
   explicit Sweep(apps::Scale scale) : scale_(scale) {}
@@ -48,17 +66,42 @@ class Sweep {
   AppRun run_point(const std::string& app, const SimConfig& cfg,
                    double param_value);
 
+  /// Run every point, concurrently on `pool` when it has more than one
+  /// worker (serially otherwise). Results are returned in point order
+  /// regardless of completion order.
+  std::vector<AppRun> run_points(const std::vector<SweepPoint>& points,
+                                 JobPool* pool = nullptr);
+
   /// Sweep `values`; `apply` writes the value into a config copy.
   std::vector<AppRun> run_sweep(
       const std::string& app, const SimConfig& base,
       const std::vector<double>& values,
-      const std::function<void(SimConfig&, double)>& apply);
+      const std::function<void(SimConfig&, double)>& apply,
+      JobPool* pool = nullptr);
 
   [[nodiscard]] apps::Scale scale() const noexcept { return scale_; }
 
  private:
+  /// What the uniprocessor baseline actually depends on: communication
+  /// parameters are irrelevant on one processor, but page size and protocol
+  /// change local fault behavior.
+  struct BaselineKey {
+    std::string app;
+    std::uint32_t page_bytes;
+    Protocol protocol;
+    auto operator<=>(const BaselineKey&) const = default;
+  };
+  static BaselineKey key_of(const std::string& app, const SimConfig& cfg) {
+    return BaselineKey{app, cfg.comm.page_bytes, cfg.comm.protocol};
+  }
+
+  /// Compute-and-cache every distinct baseline `points` will need, using
+  /// `pool` so baseline runs overlap; afterwards the fan-out only reads.
+  void prewarm_baselines(const std::vector<SweepPoint>& points, JobPool* pool);
+
   apps::Scale scale_;
-  std::map<std::string, Cycles> baselines_;
+  std::mutex mu_;  ///< guards baselines_
+  std::map<BaselineKey, Cycles> baselines_;
 };
 
 /// Max slowdown between the best and the worst speedup in a sweep, as a

@@ -7,9 +7,17 @@
 
 #include "harness/cli.hpp"
 #include "harness/report.hpp"
+#include "harness/sweep.hpp"
 
 namespace svmsim::harness {
 namespace {
+
+AppRun run_with_speedup(Cycles uniprocessor, Cycles time) {
+  AppRun r;
+  r.uniprocessor = uniprocessor;
+  r.result.time = time;
+  return r;
+}
 
 std::vector<char*> argv_of(std::vector<std::string>& args) {
   std::vector<char*> out;
@@ -93,6 +101,41 @@ TEST(Table, CsvRoundTrip) {
   EXPECT_EQ(l2, "fft,3.14");
   EXPECT_EQ(l3, "\"with,comma\",1");
   std::remove(path.c_str());
+}
+
+TEST(MaxSlowdown, FirstVsLastPoint) {
+  // Speedups 4.0 (first/fast endpoint) and 2.0 (last/slow): 100% slowdown.
+  std::vector<AppRun> runs{run_with_speedup(400, 100),
+                           run_with_speedup(400, 150),
+                           run_with_speedup(400, 200)};
+  EXPECT_DOUBLE_EQ(max_slowdown_pct(runs), 100.0);
+}
+
+TEST(MaxSlowdown, NegativeWhenLastPointIsFaster) {
+  // Speedups 2.0 then 4.0: the "slowdown" is a 50% speedup.
+  std::vector<AppRun> runs{run_with_speedup(400, 200),
+                           run_with_speedup(400, 100)};
+  EXPECT_DOUBLE_EQ(max_slowdown_pct(runs), -50.0);
+}
+
+TEST(MaxSlowdown, FewerThanTwoRunsIsZero) {
+  EXPECT_DOUBLE_EQ(max_slowdown_pct({}), 0.0);
+  std::vector<AppRun> one{run_with_speedup(400, 100)};
+  EXPECT_DOUBLE_EQ(max_slowdown_pct(one), 0.0);
+}
+
+TEST(MaxSlowdown, InvalidFirstPointIsZeroNotMinus100) {
+  // A zero/invalid first point used to slip past the guard (only the last
+  // point was checked) and silently report -100%.
+  std::vector<AppRun> runs{run_with_speedup(400, 0),
+                           run_with_speedup(400, 100)};
+  EXPECT_DOUBLE_EQ(max_slowdown_pct(runs), 0.0);
+}
+
+TEST(MaxSlowdown, InvalidLastPointIsZero) {
+  std::vector<AppRun> runs{run_with_speedup(400, 100),
+                           run_with_speedup(400, 0)};
+  EXPECT_DOUBLE_EQ(max_slowdown_pct(runs), 0.0);
 }
 
 TEST(Fmt, Precision) {

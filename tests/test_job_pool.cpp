@@ -1,0 +1,96 @@
+// The sweep executor's worker pool: batch completion, slot-based
+// determinism, exception propagation, and reuse across batches.
+#include "harness/job_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace svmsim::harness {
+namespace {
+
+TEST(JobPool, RunsEveryJobExactlyOnce) {
+  JobPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<int> hits(100, 0);
+  std::vector<JobPool::Job> jobs;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    jobs.push_back([&hits, i] { hits[i] += 1; });
+  }
+  pool.run(std::move(jobs));
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(JobPool, SlotWritesGiveDeterministicResults) {
+  JobPool pool(4);
+  std::vector<int> out(64, -1);
+  std::vector<JobPool::Job> jobs;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    jobs.push_back([&out, i] { out[i] = static_cast<int>(i * i); });
+  }
+  pool.run(std::move(jobs));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(JobPool, EmptyBatchReturnsImmediately) {
+  JobPool pool(2);
+  EXPECT_NO_THROW(pool.run({}));
+}
+
+TEST(JobPool, ReusableAcrossBatches) {
+  JobPool pool(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<JobPool::Job> jobs;
+    for (int i = 0; i < 10; ++i) {
+      jobs.push_back([&total] { total.fetch_add(1); });
+    }
+    pool.run(std::move(jobs));
+  }
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(JobPool, PropagatesFirstExceptionAfterDrainingBatch) {
+  JobPool pool(2);
+  std::atomic<int> completed{0};
+  std::vector<JobPool::Job> jobs;
+  for (int i = 0; i < 8; ++i) {
+    if (i == 3) {
+      jobs.push_back([] { throw std::runtime_error("boom"); });
+    } else {
+      jobs.push_back([&completed] { completed.fetch_add(1); });
+    }
+  }
+  EXPECT_THROW(pool.run(std::move(jobs)), std::runtime_error);
+  // The batch drains fully even when one job throws.
+  EXPECT_EQ(completed.load(), 7);
+  // And the pool still works afterwards.
+  std::vector<JobPool::Job> more;
+  more.push_back([&completed] { completed.fetch_add(1); });
+  EXPECT_NO_THROW(pool.run(std::move(more)));
+  EXPECT_EQ(completed.load(), 8);
+}
+
+TEST(JobPool, SingleThreadPoolStillCompletes) {
+  JobPool pool(1);
+  std::vector<int> order;
+  std::vector<JobPool::Job> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back([&order, i] { order.push_back(i); });
+  }
+  pool.run(std::move(jobs));
+  // One worker pulls indices in submission order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(JobPool, HardwareDefaultIsAtLeastOne) {
+  EXPECT_GE(JobPool::hardware_default(), 1u);
+}
+
+}  // namespace
+}  // namespace svmsim::harness
