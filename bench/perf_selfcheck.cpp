@@ -1,20 +1,57 @@
-// Self-measurement for the parallel sweep executor: runs the same multi-app
+// Self-measurement for the simulator hot path: runs the same multi-app
 // host-overhead sweep serially and under --jobs N, checks the results are
-// identical, and reports wall-clock time and simulation throughput
-// (events/sec) for both, machine-readably.
+// identical, and reports wall-clock time, simulation throughput (events/sec)
+// and heap-allocation rate (allocs/event), machine-readably.
 //
 //   ./perf_selfcheck [--scale=tiny] [--jobs=N] [--apps=a,b,c]
 //                    [--out=BENCH_sweep.json]
 //
+// If the output file already exists, the previous serial numbers are read
+// back and a before/after comparison line is printed, so regressions in
+// either throughput or allocation discipline are visible at a glance.
+//
 // Exit status is nonzero if the parallel results differ from the serial
 // ones, so this doubles as a determinism check for CI.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <new>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every operator-new in the binary ticks it.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+// GCC pairs inlined new-expressions with the malloc inside the replacement
+// and flags a mismatch; the replacement set is consistent, so silence it.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -23,9 +60,14 @@ using svmsim::harness::AppRun;
 struct Measurement {
   double wall_seconds = 0.0;
   std::uint64_t events = 0;
+  std::uint64_t allocs = 0;
 
   [[nodiscard]] double events_per_sec() const {
     return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0.0;
+  }
+  [[nodiscard]] double allocs_per_event() const {
+    return events > 0 ? static_cast<double>(allocs) / static_cast<double>(events)
+                      : 0.0;
   }
 };
 
@@ -34,11 +76,13 @@ Measurement measure(std::vector<AppRun>& out,
                     svmsim::apps::Scale scale, svmsim::harness::JobPool* pool) {
   // A fresh Sweep each time so the baseline cache is cold for both arms.
   svmsim::harness::Sweep sweep(scale);
+  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
   const auto t0 = std::chrono::steady_clock::now();
   out = sweep.run_points(points, pool);
   const auto t1 = std::chrono::steady_clock::now();
   Measurement m;
   m.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  m.allocs = g_allocs.load(std::memory_order_relaxed) - a0;
   for (const auto& r : out) m.events += r.result.events;
   return m;
 }
@@ -57,6 +101,20 @@ bool identical(const std::vector<AppRun>& a, const std::vector<AppRun>& b) {
   return true;
 }
 
+/// Pull one numeric field out of the previous run's JSON (crude but enough
+/// for the flat schema this program writes itself).
+std::optional<double> json_number_after(const std::string& text,
+                                        const std::string& section,
+                                        const std::string& key) {
+  const std::size_t s = text.find("\"" + section + "\"");
+  if (s == std::string::npos) return std::nullopt;
+  const std::size_t k = text.find("\"" + key + "\"", s);
+  if (k == std::string::npos) return std::nullopt;
+  const std::size_t colon = text.find(':', k);
+  if (colon == std::string::npos) return std::nullopt;
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,6 +128,19 @@ int main(int argc, char** argv) {
   const unsigned jobs =
       opt.jobs > 1 ? static_cast<unsigned>(opt.jobs)
                    : harness::JobPool::hardware_default();
+
+  // Previous numbers (if any) for the before/after comparison.
+  std::optional<double> prev_eps, prev_ape;
+  {
+    std::ifstream prev(out_path);
+    if (prev) {
+      std::stringstream ss;
+      ss << prev.rdbuf();
+      const std::string text = ss.str();
+      prev_eps = json_number_after(text, "serial", "events_per_sec");
+      prev_ape = json_number_after(text, "serial", "allocs_per_event");
+    }
+  }
 
   // The fig05 host-overhead sweep: a representative all-independent batch.
   const std::vector<double> values{0, 500, 1000, 2000};
@@ -104,24 +175,52 @@ int main(int argc, char** argv) {
        << ",\n"
        << "  \"serial\": {\"wall_seconds\": " << serial.wall_seconds
        << ", \"events\": " << serial.events
-       << ", \"events_per_sec\": " << serial.events_per_sec() << "},\n"
+       << ", \"events_per_sec\": " << serial.events_per_sec()
+       << ", \"allocs\": " << serial.allocs
+       << ", \"allocs_per_event\": " << serial.allocs_per_event() << "},\n"
        << "  \"parallel\": {\"wall_seconds\": " << parallel.wall_seconds
        << ", \"events\": " << parallel.events
-       << ", \"events_per_sec\": " << parallel.events_per_sec() << "},\n"
-       << "  \"speedup\": " << speedup << ",\n"
+       << ", \"events_per_sec\": " << parallel.events_per_sec()
+       << ", \"allocs\": " << parallel.allocs
+       << ", \"allocs_per_event\": " << parallel.allocs_per_event() << "},\n";
+  if (prev_eps) {
+    json << "  \"previous_serial\": {\"events_per_sec\": " << *prev_eps;
+    if (prev_ape) json << ", \"allocs_per_event\": " << *prev_ape;
+    json << "},\n";
+  }
+  json << "  \"speedup\": " << speedup << ",\n"
        << "  \"identical_results\": " << (same ? "true" : "false") << "\n"
        << "}\n";
   json.close();
 
   std::printf("== perf_selfcheck: serial vs --jobs=%u sweep ==\n", jobs);
-  harness::Table t({"arm", "wall seconds", "events", "events/sec"});
+  harness::Table t(
+      {"arm", "wall seconds", "events", "events/sec", "allocs/event"});
   t.add_row({"serial", harness::fmt(serial.wall_seconds, 3),
              std::to_string(serial.events),
-             harness::fmt(serial.events_per_sec(), 0)});
+             harness::fmt(serial.events_per_sec(), 0),
+             harness::fmt(serial.allocs_per_event(), 3)});
   t.add_row({"parallel", harness::fmt(parallel.wall_seconds, 3),
              std::to_string(parallel.events),
-             harness::fmt(parallel.events_per_sec(), 0)});
+             harness::fmt(parallel.events_per_sec(), 0),
+             harness::fmt(parallel.allocs_per_event(), 3)});
   t.print();
+  if (prev_eps) {
+    std::printf(
+        "vs previous serial: events/sec %.0f -> %.0f (%+.1f%%)",
+        *prev_eps, serial.events_per_sec(),
+        *prev_eps > 0
+            ? 100.0 * (serial.events_per_sec() - *prev_eps) / *prev_eps
+            : 0.0);
+    if (prev_ape) {
+      std::printf(", allocs/event %.3f -> %.3f (%.1fx fewer)", *prev_ape,
+                  serial.allocs_per_event(),
+                  serial.allocs_per_event() > 0
+                      ? *prev_ape / serial.allocs_per_event()
+                      : 0.0);
+    }
+    std::printf("\n");
+  }
   std::printf("speedup: %.2fx, identical results: %s (written to %s)\n",
               speedup, same ? "yes" : "NO", out_path.c_str());
 

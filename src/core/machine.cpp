@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "engine/task.hpp"
+
 namespace svmsim {
 
 Machine::Machine(const SimConfig& cfg)
@@ -38,6 +40,16 @@ Machine::Machine(const SimConfig& cfg)
     nd.wire(*agent);
     agents_.push_back(std::move(agent));
   }
+}
+
+Machine::~Machine() {
+  // Scheduled closures (e.g. in-flight transmits of an aborted run) can hold
+  // pooled references into shared_; drop them before the pools go away. Then
+  // destroy still-suspended coroutines (NIC service loops, processes blocked
+  // on a sync object in an abandoned run) so their frames release pooled
+  // refs and frame memory while the objects they reference are still alive.
+  sim_.queue().clear();
+  engine::destroy_lingering_frames();
 }
 
 }  // namespace svmsim

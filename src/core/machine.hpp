@@ -22,6 +22,7 @@ class Machine {
   static constexpr int kMaxLocks = 8192;
 
   explicit Machine(const SimConfig& cfg);
+  ~Machine();
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;

@@ -63,6 +63,11 @@ class EventQueue {
   /// Returns true if the queue drained, false if the deadline stopped it.
   bool run_until(Cycles deadline);
 
+  /// Drop all pending events without running them. Used when tearing down a
+  /// simulation that stopped early: scheduled closures may hold pooled
+  /// references, which must die before the pools they point into.
+  void clear() noexcept { heap_.clear(); }
+
  private:
   struct Event {
     Cycles when;

@@ -1,0 +1,77 @@
+// Thread-local recycling of coroutine frames.
+//
+// Every simulated process, protocol handler and NI firmware loop is a
+// coroutine; each invocation heap-allocates its frame and frees it on
+// completion. The protocol hot path creates the same handful of frame sizes
+// millions of times per run, so frame allocation is a large share of
+// simulation wall time. FramePool is a 64-byte-granular, size-bucketed
+// freelist: steady-state frame allocation is a pointer pop, and frames are
+// reused across simulation points run on the same thread.
+//
+// The pool is thread_local (each JobPool worker recycles its own frames), so
+// it needs no locks and cannot perturb cross-thread determinism. Define
+// SVMSIM_NO_FRAME_POOL (set by the SVMSIM_SANITIZE build) to fall back to
+// plain operator new/delete so ASan sees true frame lifetimes.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace svmsim::engine::detail {
+
+class FramePool {
+ public:
+  static constexpr std::size_t kGranule = 64;
+  static constexpr std::size_t kBuckets = 32;  // recycles frames up to 2 KB
+
+  static FramePool& tls() noexcept {
+    thread_local FramePool pool;
+    return pool;
+  }
+
+  void* allocate(std::size_t n) {
+    const std::size_t b = bucket(n);
+    if (b < kBuckets) {
+      if (Node* head = free_[b]; head != nullptr) {
+        free_[b] = head->next;
+        return head;
+      }
+      return ::operator new((b + 1) * kGranule);
+    }
+    return ::operator new(n);
+  }
+
+  void deallocate(void* p, std::size_t n) noexcept {
+    const std::size_t b = bucket(n);
+    if (b < kBuckets) {
+      Node* node = static_cast<Node*>(p);
+      node->next = free_[b];
+      free_[b] = node;
+      return;
+    }
+    ::operator delete(p);
+  }
+
+ private:
+  struct Node {
+    Node* next;
+  };
+  static constexpr std::size_t bucket(std::size_t n) noexcept {
+    return (n + kGranule - 1) / kGranule - 1;
+  }
+
+  FramePool() = default;
+  ~FramePool() {
+    for (Node*& head : free_) {
+      while (head != nullptr) {
+        Node* next = head->next;
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  }
+
+  Node* free_[kBuckets] = {};
+};
+
+}  // namespace svmsim::engine::detail

@@ -1,5 +1,7 @@
 #include "engine/resource.hpp"
 
+#include <algorithm>
+
 namespace svmsim::engine {
 
 namespace {
@@ -8,7 +10,7 @@ namespace {
 // resource is free, in which case it proceeds immediately.
 struct FifoWait {
   bool& busy;
-  std::deque<std::coroutine_handle<>>& waiters;
+  RingQueue<std::coroutine_handle<>>& waiters;
   bool await_ready() const noexcept { return false; }
   bool await_suspend(std::coroutine_handle<> h) {
     if (!busy) {
@@ -73,7 +75,8 @@ Task<void> PriorityResource::serve(int priority, Cycles service) {
         r.busy_ = true;
         return false;
       }
-      r.waiters_.emplace(Key{priority, r.next_seq_++}, h);
+      r.waiters_.push_back(Waiter{priority, r.next_seq_++, h});
+      std::push_heap(r.waiters_.begin(), r.waiters_.end(), After{});
       return true;
     }
     void await_resume() const noexcept {}
@@ -85,9 +88,9 @@ Task<void> PriorityResource::serve(int priority, Cycles service) {
   busy_cycles_ += occupancy;
   if (occupancy > 0) co_await sim_->delay(occupancy);
   if (!waiters_.empty()) {
-    auto it = waiters_.begin();
-    auto h = it->second;
-    waiters_.erase(it);
+    std::pop_heap(waiters_.begin(), waiters_.end(), After{});
+    auto h = waiters_.back().handle;
+    waiters_.pop_back();
     sim_->queue().schedule_in(0, [h] { h.resume(); });  // busy_ stays true
   } else {
     busy_ = false;

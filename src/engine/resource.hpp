@@ -8,14 +8,17 @@
 //                     write buffer > memory refill > NI-in).
 //
 // Both track busy time and grant counts so benches can report utilization.
+// Wait lists are allocation-free in steady state: Resource queues waiters in
+// a RingQueue, PriorityResource in a vector-backed binary heap (the old
+// std::map paid a node allocation per contended bus grant).
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
+#include <vector>
 
+#include "engine/ring_queue.hpp"
 #include "engine/simulator.hpp"
 #include "engine/task.hpp"
 #include "engine/types.hpp"
@@ -44,6 +47,7 @@ class Resource {
   }
 
  private:
+  friend struct FifoWait;
   Task<void> acquire();
   void release();
 
@@ -51,7 +55,7 @@ class Resource {
   bool busy_ = false;
   Cycles busy_cycles_ = 0;
   std::uint64_t grants_ = 0;
-  std::deque<std::coroutine_handle<>> waiters_;
+  RingQueue<std::coroutine_handle<>> waiters_;
 };
 
 class PriorityResource {
@@ -71,12 +75,17 @@ class PriorityResource {
   }
 
  private:
-  struct Key {
+  struct Waiter {
     int priority;
     std::uint64_t seq;
-    bool operator<(const Key& o) const noexcept {
-      if (priority != o.priority) return priority < o.priority;
-      return seq < o.seq;
+    std::coroutine_handle<> handle;
+  };
+  /// Heap comparator: the *minimum* (priority, seq) must surface, so order
+  /// by "greater" for std::push_heap/pop_heap max-heap semantics.
+  struct After {
+    bool operator()(const Waiter& a, const Waiter& b) const noexcept {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
     }
   };
 
@@ -86,7 +95,7 @@ class PriorityResource {
   Cycles busy_cycles_ = 0;
   std::uint64_t grants_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::map<Key, std::coroutine_handle<>> waiters_;
+  std::vector<Waiter> waiters_;  // binary heap, see After
 };
 
 }  // namespace svmsim::engine

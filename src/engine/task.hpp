@@ -14,6 +14,8 @@
 #include <optional>
 #include <utility>
 
+#include "engine/frame_pool.hpp"
+
 namespace svmsim::engine {
 
 template <typename T = void>
@@ -22,6 +24,15 @@ class [[nodiscard]] Task;
 namespace detail {
 
 struct PromiseBase {
+#ifndef SVMSIM_NO_FRAME_POOL
+  // Coroutine frames are the single hottest allocation in the simulator;
+  // recycle them through the thread-local FramePool (see frame_pool.hpp).
+  static void* operator new(std::size_t n) { return FramePool::tls().allocate(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    FramePool::tls().deallocate(p, n);
+  }
+#endif
+
   std::coroutine_handle<> continuation;  // resumed when this task completes
   std::exception_ptr error;
 
@@ -171,9 +182,45 @@ class [[nodiscard]] Task<void> {
 
 namespace detail {
 
-/// Self-destroying top-level coroutine used by spawn().
+/// Self-destroying top-level coroutine used by spawn(). Live frames are
+/// threaded on a per-thread intrusive list so Machine teardown can destroy
+/// loops and blocked processes that never complete (NIC service loops,
+/// workloads parked on a sync object when a run is abandoned); the frames
+/// transitively own their child Task frames, which release pooled refs and
+/// other resources through ordinary destructors.
 struct Detached {
   struct promise_type {
+#ifndef SVMSIM_NO_FRAME_POOL
+    static void* operator new(std::size_t n) {
+      return FramePool::tls().allocate(n);
+    }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      FramePool::tls().deallocate(p, n);
+    }
+#endif
+    promise_type* prev = nullptr;
+    promise_type* next = nullptr;
+
+    static promise_type*& live_head() noexcept {
+      thread_local promise_type* head = nullptr;
+      return head;
+    }
+
+    promise_type() noexcept {
+      promise_type*& head = live_head();
+      next = head;
+      if (head) head->prev = this;
+      head = this;
+    }
+    ~promise_type() {
+      if (prev) {
+        prev->next = next;
+      } else {
+        live_head() = next;
+      }
+      if (next) next->prev = prev;
+    }
+
     Detached get_return_object() noexcept { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
@@ -193,5 +240,17 @@ inline Detached drive(Task<void> task) { co_await std::move(task); }
 /// Start `task` as an independent simulated process. The coroutine frame
 /// frees itself on completion.
 inline void spawn(Task<void> task) { detail::drive(std::move(task)); }
+
+/// Destroy every spawned coroutine still suspended on this thread. Call only
+/// while the whole simulation is being torn down (after the event queue is
+/// cleared, before the objects the frames reference die): the frames never
+/// run again, only their destructors do. Assumes the one-machine-per-thread
+/// discipline of the runner and JobPool workers.
+inline void destroy_lingering_frames() noexcept {
+  using Promise = detail::Detached::promise_type;
+  while (Promise* p = Promise::live_head()) {
+    std::coroutine_handle<Promise>::from_promise(*p).destroy();
+  }
+}
 
 }  // namespace svmsim::engine

@@ -7,13 +7,16 @@
 // interrupt (paper §3: "Requests are synchronous (RPC like), to avoid
 // interrupts when replies arrive"); unsolicited requests interrupt a
 // processor of the destination node.
+//
+// The body is a typed svm::Payload variant of pooled references (it used to
+// be a std::any, which heap-allocated on every send); moving a Message moves
+// a reference, and dropping the last reference recycles the body.
 #pragma once
 
-#include <any>
 #include <cstdint>
-#include <vector>
 
 #include "engine/types.hpp"
+#include "svm/payload.hpp"
 
 namespace svmsim::net {
 
@@ -72,7 +75,12 @@ struct Message {
   std::uint32_t offset = 0;  ///< byte offset within `page` (AURC updates)
   int lock_id = -1;
   int barrier_id = 0;
-  std::any body;  ///< typed payload (diff batches, notices, page data)
+  svm::Payload body;  ///< typed payload (diff batches, vclocks, page data)
+
+  /// Pool hook (Messages recycle through the Network's message pool): drop
+  /// the body reference so it cascades back to its own pool; scalar fields
+  /// are fully overwritten by assignment on reuse.
+  void recycle() noexcept { body = svm::Payload{}; }
 };
 
 }  // namespace svmsim::net

@@ -27,19 +27,32 @@ engine::Task<void> NodeComm::send(Message m) {
 }
 
 std::uint64_t NodeComm::rpc_post(Message& m) {
-  const std::uint64_t id = next_rpc_id_++;
+  std::size_t slot;
+  if (free_slots_.empty()) {
+    slot = slots_.size();
+    slots_.emplace_back(*sim_);
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  assert(slot < (1ull << kSlotBits) && "too many concurrent RPCs");
+  PendingReply& s = slots_[slot];
+  assert(!s.in_use);
+  s.in_use = true;
+  const std::uint64_t id = (next_rpc_seq_++ << kSlotBits) | slot;
   m.rpc_id = id;
-  pending_.emplace(id, std::make_unique<PendingReply>(*sim_));
   return id;
 }
 
 engine::Task<Message> NodeComm::await_reply(std::uint64_t id) {
-  auto it = pending_.find(id);
-  assert(it != pending_.end() && "await_reply without rpc_post");
-  PendingReply& slot = *it->second;
-  co_await slot.arrived.wait();
-  Message reply = std::move(slot.reply);
-  pending_.erase(id);
+  const std::size_t slot = id & kSlotMask;
+  PendingReply& s = slots_[slot];
+  assert(s.in_use && "await_reply without rpc_post");
+  co_await s.arrived.wait();
+  Message reply = std::move(s.reply);
+  s.arrived.reset();
+  s.in_use = false;
+  free_slots_.push_back(slot);
   co_return reply;
 }
 
@@ -58,10 +71,12 @@ engine::Task<void> NodeComm::reply(const Message& req, Message rep) {
 
 void NodeComm::dispatch(Message&& m) {
   if (is_reply(m.type)) {
-    auto it = pending_.find(m.rpc_id);
-    assert(it != pending_.end() && "reply with no outstanding request");
-    it->second->reply = std::move(m);
-    it->second->arrived.fire();
+    const std::size_t slot = m.rpc_id & kSlotMask;
+    assert(slot < slots_.size() && slots_[slot].in_use &&
+           "reply with no outstanding request");
+    PendingReply& s = slots_[slot];
+    s.reply = std::move(m);
+    s.arrived.fire();
     return;
   }
   if (interrupts_host(m.type)) {

@@ -8,12 +8,16 @@
 //  * Unsolicited requests interrupt a processor of the destination node; the
 //    interrupt dispatch policy is owned by the node (fixed proc-0 or
 //    round-robin).
+//
+// Outstanding RPCs live in a slot pool: an rpc id is (sequence << 16) | slot,
+// each slot owns a reusable Trigger, and completed slots go back on a free
+// list — where the old unordered_map<id, unique_ptr<...>> paid two
+// allocations per RPC.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/stats.hpp"
@@ -76,14 +80,19 @@ class NodeComm {
     explicit PendingReply(engine::Simulator& sim) : arrived(sim) {}
     engine::Trigger arrived;
     Message reply;
+    bool in_use = false;
   };
+
+  static constexpr std::uint64_t kSlotBits = 16;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
 
   engine::Simulator* sim_;
   NodeId self_;
   std::vector<Nic*> nics_;
   Counters* counters_;
-  std::uint64_t next_rpc_id_ = 1;
-  std::unordered_map<std::uint64_t, std::unique_ptr<PendingReply>> pending_;
+  std::uint64_t next_rpc_seq_ = 1;
+  std::deque<PendingReply> slots_;  // deque: stable refs across slot growth
+  std::vector<std::size_t> free_slots_;
 };
 
 }  // namespace svmsim::net

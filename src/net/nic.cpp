@@ -19,7 +19,7 @@ Nic::Nic(engine::Simulator& sim, const ArchParams& arch,
       ni_tx_(sim),
       ni_rx_(sim),
       send_items_(sim, 0),
-      send_space_(std::make_unique<engine::Trigger>(sim)),
+      send_space_(sim),
       recv_items_(sim, 0) {
   engine::spawn(tx_loop());
   engine::spawn(rx_loop());
@@ -31,8 +31,8 @@ engine::Task<void> Nic::post(Message m) {
     // Send queue full: the NI interrupts the main processor and delays it
     // until the queue drains; we model the delay by blocking the poster.
     ++counters_->ni_queue_overflows;
-    send_space_->reset();
-    co_await send_space_->wait();
+    send_space_.reset();
+    co_await send_space_.wait();
   }
   if (m.type == MsgType::kUpdate) {
     ++counters_->updates_sent;
@@ -49,7 +49,8 @@ engine::Task<void> Nic::tx_loop() {
   for (;;) {
     co_await send_items_.acquire();
     assert(!send_q_.empty());
-    auto msg = std::make_shared<Message>(std::move(send_q_.front()));
+    MessageRef msg = network_->acquire_message();
+    *msg = std::move(send_q_.front());
     send_q_.pop_front();
 
     const std::uint64_t wire = wire_bytes(*msg);
@@ -77,8 +78,9 @@ engine::Task<void> Nic::tx_loop() {
       p.msg = msg;
       network_->transmit(std::move(p));
     }
+    msg.reset();
     send_q_bytes_ -= wire;
-    send_space_->fire();
+    send_space_.fire();
   }
 }
 
@@ -103,12 +105,12 @@ engine::Task<void> Nic::rx_loop() {
     recv_q_bytes_ -= p.bytes;
 
     if (!p.last) continue;
-    Message msg = std::move(*p.msg);
-    if (msg.type == MsgType::kUpdate) {
-      if (on_update) on_update(msg);
+    if (p.msg->type == MsgType::kUpdate) {
+      if (on_update) on_update(*p.msg);
     } else if (on_message) {
-      on_message(std::move(msg));
+      on_message(std::move(*p.msg));
     }
+    // p.msg dropped here: the pooled slot recycles for the next message.
   }
 }
 
@@ -119,9 +121,21 @@ void Network::transmit(Packet p) {
   const Cycles latency = arch_->wire_latency_cycles + serialization;
   Nic* dst = nics_.at(static_cast<std::size_t>(p.dst))
                  .at(static_cast<std::size_t>(p.nic_index));
-  sim_->queue().schedule_in(latency, [dst, p = std::move(p)]() mutable {
-    dst->packet_arrived(std::move(p));
-  });
+  // The closure is kept to (pointer, ref, u32, bool) so it fits the event
+  // queue's 24-byte inline action storage: no allocation per packet hop.
+  const auto bytes32 = static_cast<std::uint32_t>(p.bytes);
+  sim_->queue().schedule_in(
+      latency,
+      [dst, msg = std::move(p.msg), bytes32, last = p.last]() mutable {
+        Packet q;
+        q.src = msg->src;
+        q.dst = msg->dst;
+        q.nic_index = dst->index();
+        q.bytes = bytes32;
+        q.last = last;
+        q.msg = std::move(msg);
+        dst->packet_arrived(std::move(q));
+      });
 }
 
 }  // namespace svmsim::net

@@ -12,16 +12,21 @@
 // Each direction has its own processing engine (as on NIs with independent
 // send/receive DMA paths), each charging the per-packet NI occupancy — the
 // parameter of Figures 7/12. Within a direction, packets serialize.
+//
+// Hot-path notes: in-flight messages live in the Network's message pool (one
+// PoolRef per fragment instead of a shared_ptr allocation per message), the
+// send/receive queues are RingQueues, and the per-packet wire closure is
+// sized to fit the event queue's inline action storage.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <memory>
 
 #include "core/params.hpp"
+#include "core/pool.hpp"
 #include "core/stats.hpp"
 #include "engine/resource.hpp"
+#include "engine/ring_queue.hpp"
 #include "engine/simulator.hpp"
 #include "engine/task.hpp"
 #include "memsys/memory_bus.hpp"
@@ -32,13 +37,15 @@ namespace svmsim::net {
 
 class Network;
 
+using MessageRef = core::PoolRef<Message>;
+
 struct Packet {
   NodeId src = -1;
   NodeId dst = -1;
   int nic_index = 0;        ///< which of the destination node's NIs receives
   std::uint64_t bytes = 0;  ///< wire size of this packet (payload + header)
   bool last = false;        ///< final fragment of its message
-  std::shared_ptr<Message> msg;
+  MessageRef msg;
 };
 
 class Nic {
@@ -87,18 +94,20 @@ class Nic {
   engine::Resource ni_tx_;  // send-side packet processing
   engine::Resource ni_rx_;  // receive-side packet processing
 
-  std::deque<Message> send_q_;
+  engine::RingQueue<Message> send_q_;
   std::uint64_t send_q_bytes_ = 0;
   engine::Semaphore send_items_;
-  std::unique_ptr<engine::Trigger> send_space_;
+  engine::Trigger send_space_;
 
-  std::deque<Packet> recv_q_;
+  engine::RingQueue<Packet> recv_q_;
   std::uint64_t recv_q_bytes_ = 0;
   engine::Semaphore recv_items_;
 };
 
 /// Crossbar network: constant-latency links at processor speed. Contention
-/// in links and switches is deliberately not modeled (paper §2).
+/// in links and switches is deliberately not modeled (paper §2). Also hosts
+/// the message pool for in-flight traffic — the Network is constructed
+/// before (so destroyed after) every Nic that draws from it.
 class Network {
  public:
   Network(engine::Simulator& sim, const ArchParams& arch)
@@ -115,6 +124,9 @@ class Network {
     nic.attach(*this);
   }
 
+  /// A recycled in-flight message slot.
+  [[nodiscard]] MessageRef acquire_message() { return msg_pool_.acquire(); }
+
   /// Launch a packet: it arrives at the destination NI after the wire
   /// latency plus serialization at link bandwidth.
   void transmit(Packet p);
@@ -122,6 +134,7 @@ class Network {
  private:
   engine::Simulator* sim_;
   const ArchParams* arch_;
+  core::ObjectPool<Message> msg_pool_;
   std::vector<std::vector<Nic*>> nics_;  // [node][nic index]
 };
 

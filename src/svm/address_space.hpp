@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "core/pool.hpp"
 #include "engine/types.hpp"
 #include "svm/diff.hpp"
 
@@ -30,12 +31,13 @@ enum class PageState : std::uint8_t {
 struct PageCopy {
   PageState state = PageState::kUnmapped;
   std::vector<std::byte> data;
-  std::unique_ptr<std::vector<std::byte>> twin;  ///< HLRC write twin
+  core::PoolRef<core::PooledBytes> twin;  ///< HLRC write twin (pooled)
   bool dirty = false;       ///< written since the last flush
   bool au_active = false;   ///< AURC: stores stream automatic updates
   bool fetching = false;    ///< a fetch for this page is in flight
   bool flushing = false;    ///< a diff/update flush for this page is in flight
   std::uint32_t inval_gen = 0;  ///< bumped on every invalidation (see fetch)
+  std::uint32_t flush_epoch = 0;  ///< last propagate pass that visited us
 };
 
 /// Home placement policy for an allocation.
@@ -90,6 +92,14 @@ class AddressSpace {
   PageCopy& copy(NodeId n, PageId p);
   [[nodiscard]] bool has_copy(NodeId n, PageId p) const;
 
+  /// A recycled twin buffer holding a copy of `data` (HLRC write detection).
+  [[nodiscard]] core::PoolRef<core::PooledBytes> acquire_twin(
+      std::span<const std::byte> data) {
+    auto t = twin_pool_.acquire();
+    t->bytes.assign(data.begin(), data.end());
+    return t;
+  }
+
   /// The authoritative home-copy data (creating it if untouched).
   std::span<std::byte> home_data(PageId p);
 
@@ -105,6 +115,8 @@ class AddressSpace {
   std::uint32_t page_bytes_;
   GlobalAddr next_ = 0;
   std::vector<NodeId> homes_;  // per page; -1 = first-touch pending
+  // Twin pool is declared before copies_: PageCopy::twin refs must die first.
+  core::ObjectPool<core::PooledBytes> twin_pool_;
   // copies_[node][page]; slots allocated lazily.
   std::vector<std::vector<std::unique_ptr<PageCopy>>> copies_;
 };

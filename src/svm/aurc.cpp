@@ -1,9 +1,8 @@
 #include "svm/aurc.hpp"
 
-#include <any>
+#include <algorithm>
 #include <cassert>
 #include <cstring>
-#include <memory>
 #include <utility>
 
 namespace svmsim::svm {
@@ -21,12 +20,30 @@ Task<void> AurcAgent::arm_write(Processor& p, PageId page, PageCopy& c) {
   co_return;
 }
 
+AurcAgent::Run& AurcAgent::run_of(PageId page) {
+  if (runs_.size() <= page) {
+    runs_.resize(std::max<std::size_t>(space_->page_count(), page + 1));
+  }
+  return runs_[static_cast<std::size_t>(page)];
+}
+
 void AurcAgent::on_store(Processor& p, PageId page, PageCopy& c,
                          std::uint32_t offset, std::uint32_t len) {
   (void)p;
   if (!c.au_active) return;
-  homes_touched_.insert(home_of(page));
-  Run& r = runs_[page];
+  const NodeId h = home_of(page);
+  if (home_touched_.size() < static_cast<std::size_t>(space_->nodes())) {
+    home_touched_.resize(static_cast<std::size_t>(space_->nodes()), 0);
+  }
+  if (!home_touched_[static_cast<std::size_t>(h)]) {
+    home_touched_[static_cast<std::size_t>(h)] = 1;
+    homes_touched_.push_back(h);
+  }
+  Run& r = run_of(page);
+  if (!r.listed) {
+    r.listed = true;
+    active_pages_.push_back(page);
+  }
   const std::uint32_t max_run = cfg_->arch.mtu_payload_bytes - 16;
   if (r.active && offset == r.end && (r.end + len - r.start) <= max_run) {
     r.end += len;
@@ -41,8 +58,9 @@ void AurcAgent::on_store(Processor& p, PageId page, PageCopy& c,
 void AurcAgent::emit_run(PageId page, Run& run) {
   PageCopy& c = space_->copy(self_, page);
   const std::uint32_t len = run.end - run.start;
-  auto data = std::make_shared<std::vector<std::byte>>(
-      c.data.begin() + run.start, c.data.begin() + run.start + len);
+  BytesRef data = shared_->pools.bytes();
+  data->bytes.assign(c.data.begin() + run.start,
+                     c.data.begin() + run.start + len);
   net::Message m;
   m.type = net::MsgType::kUpdate;
   m.src = self_;
@@ -58,8 +76,7 @@ void AurcAgent::emit_run(PageId page, Run& run) {
 }
 
 void AurcAgent::apply_update(const net::Message& m) {
-  const auto& data =
-      *std::any_cast<const std::shared_ptr<std::vector<std::byte>>&>(m.body);
+  const std::vector<std::byte>& data = bytes_body(m.body);
   auto home = space_->home_data(m.page);
   assert(m.offset + data.size() <= home.size());
   std::memcpy(home.data() + m.offset, data.data(), data.size());
@@ -68,9 +85,9 @@ void AurcAgent::apply_update(const net::Message& m) {
   }
 }
 
-Task<void> AurcAgent::sync_homes(Processor& p,
-                                 const std::unordered_set<NodeId>& homes) {
-  std::vector<std::uint64_t> ids;
+Task<void> AurcAgent::sync_homes(Processor& p, std::span<const NodeId> homes,
+                                 std::vector<std::uint64_t>& ids) {
+  ids.clear();
   for (NodeId h : homes) {
     if (h == self_) continue;
     net::Message m;
@@ -93,16 +110,20 @@ Task<void> AurcAgent::sync_homes(Processor& p,
 
 Task<void> AurcAgent::propagate_dirty(Processor& p,
                                       const std::vector<PageId>& pages) {
-  for (auto& [page, run] : runs_) {
-    if (run.active) emit_run(page, run);
+  for (PageId page : active_pages_) {
+    Run& r = runs_[static_cast<std::size_t>(page)];
+    if (!r.listed) continue;  // drained early by an invalidation flush
+    r.listed = false;
+    if (r.active) emit_run(page, r);
   }
-  runs_.clear();
+  active_pages_.clear();
 
-  std::vector<PageId> in_flight;
-  std::unordered_set<PageId> seen;
+  flush_in_flight_.clear();
+  const std::uint32_t epoch = ++flush_epoch_;  // dedups the dirty list
   for (PageId page : pages) {
-    if (!seen.insert(page).second) continue;  // dirty list can hold dups
     PageCopy& c = space_->copy(self_, page);
+    if (c.flush_epoch == epoch) continue;
+    c.flush_epoch = epoch;
     // See HlrcAgent::propagate_dirty: wait for in-flight flushes first.
     co_await wait_page_flush(p, page);
     if (!c.dirty) continue;
@@ -111,14 +132,17 @@ Task<void> AurcAgent::propagate_dirty(Processor& p,
     c.state = PageState::kReadOnly;  // re-arm write detection
     if (home_of(page) != self_) {
       begin_page_flush(page);
-      in_flight.push_back(page);
+      flush_in_flight_.push_back(page);
     }
   }
 
-  std::unordered_set<NodeId> homes = std::move(homes_touched_);
-  homes_touched_.clear();
-  co_await sync_homes(p, homes);
-  for (PageId page : in_flight) end_page_flush(page);
+  // Swap the touched-home list into scratch and clear the flags before the
+  // markers go out: stores racing the sync re-register their homes.
+  sync_scratch_.clear();
+  sync_scratch_.swap(homes_touched_);
+  for (NodeId h : sync_scratch_) home_touched_[static_cast<std::size_t>(h)] = 0;
+  co_await sync_homes(p, sync_scratch_, rpc_ids_);
+  for (PageId page : flush_in_flight_) end_page_flush(page);
 }
 
 Task<void> AurcAgent::flush_page_for_invalidation(Processor& p, PageId page,
@@ -130,16 +154,18 @@ Task<void> AurcAgent::flush_page_for_invalidation(Processor& p, PageId page,
   // Demote immediately: a write racing the marker ack must fault so it
   // re-arms the AU device instead of being silently dropped.
   c.state = PageState::kReadOnly;
-  auto it = runs_.find(page);
-  if (it != runs_.end()) {
-    if (it->second.active) emit_run(page, it->second);
-    runs_.erase(it);
+  if (page < runs_.size()) {
+    Run& r = runs_[static_cast<std::size_t>(page)];
+    if (r.active) emit_run(page, r);  // listed stays; propagate skips it
   }
   const NodeId h = home_of(page);
   if (h == self_) co_return;
   begin_page_flush(page);
-  std::unordered_set<NodeId> homes{h};
-  co_await sync_homes(p, homes);
+  // Locals, not the flush scratch members: invalidation flushes can run on
+  // several processors concurrently with a release flush.
+  const NodeId homes[1] = {h};
+  std::vector<std::uint64_t> ids;
+  co_await sync_homes(p, homes, ids);
   end_page_flush(page);
 }
 

@@ -11,8 +11,8 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
+#include <span>
+#include <vector>
 
 #include "svm/hlrc.hpp"
 
@@ -41,18 +41,31 @@ class AurcAgent final : public SvmAgent {
     std::uint32_t start = 0;
     std::uint32_t end = 0;
     bool active = false;
+    bool listed = false;  ///< queued on active_pages_
   };
+
+  [[nodiscard]] Run& run_of(PageId page);
 
   /// Emit the run as a kUpdate message (hardware: no host overhead).
   void emit_run(PageId page, Run& run);
-  /// Flush open runs (optionally only for `page`) and send release markers
-  /// to every home touched since the last flush, waiting for their acks.
-  engine::Task<void> sync_homes(Processor& p,
-                                const std::unordered_set<NodeId>& homes);
+  /// Send release markers to the given homes (skipping self) and wait for
+  /// their acks. `ids` is caller-provided scratch for the outstanding RPCs.
+  engine::Task<void> sync_homes(Processor& p, std::span<const NodeId> homes,
+                                std::vector<std::uint64_t>& ids);
   void apply_update(const net::Message& m);
 
-  std::unordered_map<PageId, Run> runs_;
-  std::unordered_set<NodeId> homes_touched_;
+  // Coalescing-run table, dense by page id; active_pages_ lists the pages
+  // with a queued run in first-touch order (the Run::listed flag keeps the
+  // list duplicate-free). Replaces an unordered_map rebuilt every interval.
+  std::vector<Run> runs_;
+  std::vector<PageId> active_pages_;
+  // Homes touched since the last flush: a flag per node plus the insertion
+  // order, so release markers go out deterministically.
+  std::vector<std::uint8_t> home_touched_;
+  std::vector<NodeId> homes_touched_;
+  // Flush scratch (serialized by node_flushing_).
+  std::vector<NodeId> sync_scratch_;
+  std::vector<std::uint64_t> rpc_ids_;
 };
 
 }  // namespace svmsim::svm

@@ -27,14 +27,15 @@ class BarrierHub {
     arrivals_sem_.release();
   }
 
-  /// Manager rep: wait for the other `nodes-1` arrivals.
-  engine::Task<std::vector<net::Message>> collect() {
+  /// Manager rep: wait for the other `nodes-1` arrivals. `out` is a caller
+  /// scratch buffer; its storage and arrivals_'s ping-pong across episodes,
+  /// so steady-state barriers allocate nothing.
+  engine::Task<void> collect(std::vector<net::Message>& out) {
     for (int i = 0; i < nodes_ - 1; ++i) {
       co_await arrivals_sem_.acquire();
     }
-    std::vector<net::Message> out = std::move(arrivals_);
-    arrivals_.clear();
-    co_return out;
+    out.clear();
+    out.swap(arrivals_);
   }
 
  private:

@@ -5,23 +5,13 @@
 
 namespace svmsim::svm {
 
-std::uint64_t PageDiff::modified_bytes() const {
-  std::uint64_t n = 0;
-  for (const auto& r : runs) n += r.bytes.size();
-  return n;
-}
-
-std::uint64_t PageDiff::wire_bytes() const {
-  return 16 + 8 * runs.size() + modified_bytes();
-}
-
-PageDiff compute_diff(PageId page, std::span<const std::byte> current,
-                      std::span<const std::byte> twin) {
+void compute_diff(PageId page, std::span<const std::byte> current,
+                  std::span<const std::byte> twin, PageDiff& out) {
   assert(current.size() == twin.size());
   assert(current.size() % kDiffWordBytes == 0);
 
-  PageDiff d;
-  d.page = page;
+  out.clear();
+  out.page = page;
   const std::size_t words = current.size() / kDiffWordBytes;
   std::size_t run_start = 0;
   bool in_run = false;
@@ -36,20 +26,22 @@ PageDiff compute_diff(PageId page, std::span<const std::byte> current,
     } else if (!differs && in_run) {
       DiffRun run;
       run.offset = static_cast<std::uint32_t>(run_start * kDiffWordBytes);
-      const std::size_t len = (w - run_start) * kDiffWordBytes;
-      run.bytes.assign(current.begin() + run.offset,
-                       current.begin() + run.offset + len);
-      d.runs.push_back(std::move(run));
+      run.len = static_cast<std::uint32_t>((w - run_start) * kDiffWordBytes);
+      run.data_off = static_cast<std::uint32_t>(out.data.size());
+      out.data.insert(out.data.end(), current.begin() + run.offset,
+                      current.begin() + run.offset + run.len);
+      out.runs.push_back(run);
       in_run = false;
     }
   }
-  return d;
 }
 
 void apply_diff(std::span<std::byte> target, const PageDiff& diff) {
   for (const auto& r : diff.runs) {
-    assert(r.offset + r.bytes.size() <= target.size());
-    std::memcpy(target.data() + r.offset, r.bytes.data(), r.bytes.size());
+    assert(r.offset + r.len <= target.size());
+    assert(r.data_off + r.len <= diff.data.size());
+    std::memcpy(target.data() + r.offset, diff.data.data() + r.data_off,
+                r.len);
   }
 }
 

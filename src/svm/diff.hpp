@@ -1,6 +1,12 @@
 // Software diffs (HLRC): word-granularity comparison of a dirty page against
 // its twin, producing runs of modified bytes that the home merges. Diffs
 // carry real data, so protocol correctness is testable end to end.
+//
+// Storage is flat: one byte vector per PageDiff holds the data of all runs
+// back to back, and each DiffRun is a (page offset, length, data offset)
+// triple into it. A recycled PageDiff (see core/pool.hpp) therefore reuses
+// exactly two growable buffers no matter how fragmented the write pattern
+// was, where the old vector<DiffRun{vector<byte>}> layout allocated per run.
 #pragma once
 
 #include <cstddef>
@@ -18,25 +24,50 @@ using PageId = std::uint64_t;
 inline constexpr std::uint32_t kDiffWordBytes = 4;
 
 struct DiffRun {
-  std::uint32_t offset = 0;  ///< byte offset within the page
-  std::vector<std::byte> bytes;
+  std::uint32_t offset = 0;    ///< byte offset within the page
+  std::uint32_t len = 0;       ///< run length in bytes
+  std::uint32_t data_off = 0;  ///< offset of the run's bytes in PageDiff::data
 };
 
 struct PageDiff {
   PageId page = 0;
   std::vector<DiffRun> runs;
+  std::vector<std::byte> data;  ///< concatenated bytes of all runs
 
-  [[nodiscard]] std::uint64_t modified_bytes() const;
+  [[nodiscard]] std::uint64_t modified_bytes() const noexcept {
+    return data.size();
+  }
   /// Size on the wire: 16-byte page header + 8-byte run headers + data.
-  [[nodiscard]] std::uint64_t wire_bytes() const;
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept {
+    return 16 + 8 * runs.size() + data.size();
+  }
   [[nodiscard]] bool empty() const noexcept { return runs.empty(); }
+
+  [[nodiscard]] std::span<const std::byte> bytes_of(
+      const DiffRun& r) const noexcept {
+    return {data.data() + r.data_off, r.len};
+  }
+
+  void clear() noexcept {  // keeps capacity
+    page = 0;
+    runs.clear();
+    data.clear();
+  }
 };
 
 /// Compare `current` against `twin` (same length, multiple of the word size)
-/// and collect the modified runs.
-[[nodiscard]] PageDiff compute_diff(PageId page,
-                                    std::span<const std::byte> current,
-                                    std::span<const std::byte> twin);
+/// and collect the modified runs into `out` (cleared first, capacity kept).
+void compute_diff(PageId page, std::span<const std::byte> current,
+                  std::span<const std::byte> twin, PageDiff& out);
+
+/// Convenience overload for tests and cold paths.
+[[nodiscard]] inline PageDiff compute_diff(PageId page,
+                                           std::span<const std::byte> current,
+                                           std::span<const std::byte> twin) {
+  PageDiff d;
+  compute_diff(page, current, twin, d);
+  return d;
+}
 
 /// Merge a diff into `target` (the home copy).
 void apply_diff(std::span<std::byte> target, const PageDiff& diff);

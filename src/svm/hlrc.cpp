@@ -1,11 +1,10 @@
 #include "svm/hlrc.hpp"
 
-#include <any>
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <unordered_set>
 #include <utility>
 
 namespace svmsim::svm {
@@ -58,7 +57,7 @@ using engine::Task;
 /// Wire size of a page install/copy in handler time (paper §2 models page
 /// copies as a per-KB software cost).
 Cycles install_cycles(const ArchParams& arch, std::uint32_t page_bytes) {
-  return arch.page_install_cycles_per_kb * (page_bytes / 1024 + 1);
+  return arch.page_install_cycles_per_kb * ((page_bytes + 1023) / 1024);
 }
 
 }  // namespace
@@ -75,9 +74,11 @@ SvmAgent::SvmAgent(engine::Simulator& sim, const SimConfig& cfg, NodeId self,
       comm_(&comm),
       counters_(&counters),
       vc_(space.nodes()),
-      node_flush_done_(std::make_shared<engine::Trigger>(sim)),
-      barrier_done_(std::make_shared<engine::Trigger>(sim)),
-      barrier_release_(std::make_unique<engine::Trigger>(sim)) {}
+      node_flush_done_(sim),
+      inval_scratch_(static_cast<std::size_t>(procs_on_node)),
+      barrier_done_(sim),
+      barrier_release_(sim),
+      barrier_merged_(space.nodes()) {}
 
 void SvmAgent::install() {
   comm_->request_handler = [this](net::Message m) -> Task<void> {
@@ -89,17 +90,22 @@ void SvmAgent::install() {
 }
 
 void SvmAgent::dump_lock_state() const {
+  std::size_t fetches = 0, flushes = 0;
+  for (auto* t : pending_fetch_) fetches += t != nullptr;
+  for (auto* t : pending_flush_) flushes += t != nullptr;
   std::fprintf(stderr,
                "  node %d: barrier_arrived=%d/%d node_flushing=%d "
                "pending_fetch=%zu pending_flush=%zu vc=%s\n",
                self_, barrier_arrived_, procs_on_node_, (int)node_flushing_,
-               pending_fetch_.size(), pending_flush_.size(),
-               vc_.to_string().c_str());
-  for (const auto& [lock, lp] : lock_proxies_) {
+               fetches, flushes, vc_.to_string().c_str());
+  for (std::size_t i = 0; i < lock_proxies_.size(); ++i) {
+    const LockProxy& lp = lock_proxies_[i];
+    if (!lp.init) continue;
     if (!lp.token && !lp.held && !lp.remote_pending && !lp.recall_pending &&
         lp.waiters.empty()) {
       continue;
     }
+    const int lock = static_cast<int>(i);
     const LockHomeState& s = shared_->locks.state(lock);
     std::fprintf(stderr,
                  "  node %d lock %d: token=%d held=%d remote_pending=%d "
@@ -115,6 +121,22 @@ void SvmAgent::dump_lock_state() const {
 NodeId SvmAgent::home_of(PageId page) {
   const NodeId h = space_->home_of(page);
   return h >= 0 ? h : space_->assign_home(page, self_);
+}
+
+engine::Trigger*& SvmAgent::fetch_slot(PageId page) {
+  if (pending_fetch_.size() <= page) {
+    pending_fetch_.resize(
+        std::max<std::size_t>(space_->page_count(), page + 1), nullptr);
+  }
+  return pending_fetch_[static_cast<std::size_t>(page)];
+}
+
+engine::Trigger*& SvmAgent::flush_slot(PageId page) {
+  if (pending_flush_.size() <= page) {
+    pending_flush_.resize(
+        std::max<std::size_t>(space_->page_count(), page + 1), nullptr);
+  }
+  return pending_flush_[static_cast<std::size_t>(page)];
 }
 
 // ---------------------------------------------------------------------------
@@ -147,11 +169,11 @@ Task<PageCopy*> SvmAgent::ensure_valid(Processor& p, PageId page,
     }
     if (c.fetching) {
       // Another processor of this node already requested the page; wait for
-      // its fetch instead of issuing a duplicate (fault coalescing). Hold a
-      // reference: the trigger outlives the map entry.
-      auto t = pending_fetch_.at(page);
+      // its fetch instead of issuing a duplicate (fault coalescing). The
+      // episode handle stays valid after the fetcher recycles the trigger.
+      engine::Episode ep(*fetch_slot(page));
       const Cycles t0 = co_await p.wait_begin();
-      co_await t->wait();
+      co_await ep.wait();
       p.wait_end(TimeCat::kDataWait, t0);
       continue;  // re-check the state (fetch may have raced an invalidation)
     }
@@ -198,10 +220,8 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
 
   SVMSIM_TRACE_EVT(page, "fetch issued (gen=%u)", c.inval_gen);
   c.fetching = true;
-  auto [it, inserted] =
-      pending_fetch_.try_emplace(page, std::make_shared<engine::Trigger>(*sim_));
-  assert(inserted && "duplicate fetch for a page");
-  (void)it;
+  assert(fetch_slot(page) == nullptr && "duplicate fetch for a page");
+  fetch_slot(page) = shared_->pools.triggers.acquire();
   const std::uint32_t gen_at_start = c.inval_gen;
 
   net::Message m;
@@ -217,8 +237,7 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
   net::Message rep = co_await comm_->await_reply(id);
   p.wait_end(TimeCat::kDataWait, t0);
 
-  const auto& data =
-      *std::any_cast<const std::shared_ptr<std::vector<std::byte>>&>(rep.body);
+  const std::vector<std::byte>& data = bytes_body(rep.body);
   assert(data.size() == pb);
   std::memcpy(c.data.data(), data.data(), pb);
   SVMSIM_TRACE_EVT(page, "fetch installed (gen %u -> %u) word0=%d",
@@ -233,8 +252,10 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
   c.state = c.inval_gen == gen_at_start ? PageState::kReadOnly
                                         : PageState::kInvalid;
   c.fetching = false;
-  auto node = pending_fetch_.extract(page);
-  node.mapped()->fire();
+  engine::Trigger* t = fetch_slot(page);
+  fetch_slot(page) = nullptr;
+  t->complete();  // wakes coalesced waiters, invalidates their episodes
+  shared_->pools.triggers.release(t);
 }
 
 void SvmAgent::begin_page_flush(PageId page) {
@@ -245,8 +266,8 @@ void SvmAgent::begin_page_flush(PageId page) {
   }
   assert(!c.flushing && "overlapping flushes of one page");
   c.flushing = true;
-  pending_flush_.try_emplace(page,
-                             std::make_shared<engine::Trigger>(*sim_));
+  assert(flush_slot(page) == nullptr);
+  flush_slot(page) = shared_->pools.triggers.acquire();
 }
 
 void SvmAgent::end_page_flush(PageId page) {
@@ -255,8 +276,11 @@ void SvmAgent::end_page_flush(PageId page) {
                  (unsigned long long)page);
   }
   space_->copy(self_, page).flushing = false;
-  auto node = pending_flush_.extract(page);
-  if (!node.empty()) node.mapped()->fire();
+  engine::Trigger* t = flush_slot(page);
+  if (t == nullptr) return;
+  flush_slot(page) = nullptr;
+  t->complete();
+  shared_->pools.triggers.release(t);
 }
 
 engine::Task<void> SvmAgent::wait_page_flush(Processor& p, PageId page) {
@@ -266,9 +290,9 @@ engine::Task<void> SvmAgent::wait_page_flush(Processor& p, PageId page) {
                    (unsigned long long)sim_->now(), self_, p.id(),
                    (unsigned long long)page);
     }
-    auto t = pending_flush_.at(page);
+    engine::Episode ep(*flush_slot(page));
     const Cycles t0 = co_await p.wait_begin();
-    co_await t->wait();
+    co_await ep.wait();
     p.wait_end(TimeCat::kProtocol, t0);
   }
 }
@@ -357,10 +381,10 @@ Task<void> SvmAgent::flush(Processor& p) {
       std::fprintf(stderr, "[t=%llu n=%d p=%d] flush: wait node_flushing\n",
                    (unsigned long long)sim_->now(), self_, p.id());
     }
-    // Hold a reference: the flusher replaces the trigger when it finishes.
-    auto t = node_flush_done_;
+    // The episode stays answerable after the flusher complete()s under us.
+    engine::Episode ep(node_flush_done_);
     const Cycles t0 = co_await p.wait_begin();
-    co_await t->wait();
+    co_await ep.wait();
     p.wait_end(TimeCat::kProtocol, t0);
   }
   if (interval_pages_.empty()) co_return;
@@ -371,36 +395,43 @@ Task<void> SvmAgent::flush(Processor& p) {
                  interval_pages_.size());
   }
   node_flushing_ = true;
-  std::vector<PageId> to_propagate = std::move(dirty_pages_);
-  dirty_pages_.clear();
-  std::vector<PageId> interval = std::move(interval_pages_);
-  interval_pages_.clear();
+  // Swap the live lists into scratch members: they refill while this flush
+  // is in flight, and the storage ping-pongs between the pairs so the
+  // steady state allocates nothing.
+  propagating_.clear();
+  propagating_.swap(dirty_pages_);
+  interval_scratch_.clear();
+  interval_scratch_.swap(interval_pages_);
 
-  co_await propagate_dirty(p, to_propagate);
+  co_await propagate_dirty(p, propagating_);
 
   const std::uint32_t idx = vc_.advance(self_);
-  shared_->dir.record_interval(self_, idx, std::move(interval));
+  shared_->dir.record_interval(self_, idx, interval_scratch_);
 
   if (trace_flush()) {
     std::fprintf(stderr, "[t=%llu n=%d p=%d] flush: done\n",
                  (unsigned long long)sim_->now(), self_, p.id());
   }
   node_flushing_ = false;
-  auto done = std::move(node_flush_done_);
-  node_flush_done_ = std::make_shared<engine::Trigger>(*sim_);
-  done->fire();
+  node_flush_done_.complete();
 }
 
 Task<void> SvmAgent::apply_invalidations(Processor& p, const VClock& target) {
   if (vc_.covers(target)) co_return;
 
-  std::unordered_set<PageId> pages;
+  std::vector<PageId>& pages = inval_scratch_[local_index(p)];
+  pages.clear();
   const std::uint64_t notices = shared_->dir.collect_notices(
       vc_, target, [&](PageId page, NodeId writer) {
-        if (writer != self_) pages.insert(page);
+        if (writer != self_) pages.push_back(page);
       });
   counters_->write_notices += notices;
   p.charge(TimeCat::kProtocol, notices * cfg_->arch.write_notice_cycles);
+
+  // Deduplicate (a page can appear in many intervals); sorting also makes
+  // the invalidation order independent of the interval log layout.
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
 
   const std::uint32_t pb = space_->page_bytes();
   for (PageId page : pages) {
@@ -438,12 +469,16 @@ Task<void> SvmAgent::apply_invalidations(Processor& p, const VClock& target) {
 // ---------------------------------------------------------------------------
 
 SvmAgent::LockProxy& SvmAgent::proxy(int lock) {
-  auto [it, inserted] = lock_proxies_.try_emplace(lock);
-  if (inserted) {
-    // The home owns an untouched lock's token.
-    it->second.token = shared_->locks.ensure_owner(lock).owner == self_;
+  while (lock_proxies_.size() <= static_cast<std::size_t>(lock)) {
+    lock_proxies_.emplace_back();
   }
-  return it->second;
+  LockProxy& lp = lock_proxies_[static_cast<std::size_t>(lock)];
+  if (!lp.init) {
+    lp.init = true;
+    // The home owns an untouched lock's token.
+    lp.token = shared_->locks.ensure_owner(lock).owner == self_;
+  }
+  return lp;
 }
 
 void SvmAgent::wake_one_waiter(LockProxy& lp) {
@@ -481,7 +516,7 @@ Task<void> SvmAgent::acquire_lock(Processor& p, int lock) {
       m.dst = shared_->locks.home_of(lock);
       m.lock_id = lock;
       m.payload_bytes = vclock_wire_bytes();
-      m.body = vc_;
+      m.body = shared_->pools.vclock(vc_);
       charge_send(p);
       co_await p.drain();
       const std::uint64_t id = comm_->rpc_post(m);
@@ -493,8 +528,7 @@ Task<void> SvmAgent::acquire_lock(Processor& p, int lock) {
       lp.token = true;
       lp.held = true;
       SVMSIM_TRACE_LK(lock, "remote acquire granted");
-      const auto& lvc = std::any_cast<const VClock&>(grant.body);
-      co_await apply_invalidations(p, lvc);
+      co_await apply_invalidations(p, vclock_body(grant.body));
       co_return;
     }
     // Queue behind local activity on this lock.
@@ -547,8 +581,7 @@ Task<void> SvmAgent::send_token_return(int lock, Processor* p) {
   m.dst = home;
   m.lock_id = lock;
   m.payload_bytes = vclock_wire_bytes();
-  m.body = vc_;
-  // Remember which lock this return is for at the home side.
+  m.body = shared_->pools.vclock(vc_);
   co_await comm_->send(std::move(m));
 }
 
@@ -561,11 +594,11 @@ Task<void> SvmAgent::barrier(Processor& p) {
   p.charge(TimeCat::kProtocol, cfg_->arch.smp_barrier_cycles);
 
   if (++barrier_arrived_ < procs_on_node_) {
-    // Hold a reference: the representative replaces the trigger when it
-    // completes the episode, possibly while we are still draining.
-    auto episode = barrier_done_;
+    // The representative complete()s the episode, possibly while we are
+    // still draining; the generation stamp keeps the wait answerable.
+    engine::Episode ep(barrier_done_);
     const Cycles t0 = co_await p.wait_begin();
-    co_await episode->wait();
+    co_await ep.wait();
     p.wait_end(TimeCat::kBarrierWait, t0);
     co_return;
   }
@@ -576,50 +609,52 @@ Task<void> SvmAgent::barrier(Processor& p) {
 
   if (self_ == shared_->hub.manager()) {
     const Cycles t0 = co_await p.wait_begin();
-    std::vector<net::Message> arrivals = co_await shared_->hub.collect();
+    co_await shared_->hub.collect(barrier_arrivals_);
     p.wait_end(TimeCat::kBarrierWait, t0);
 
-    VClock merged = vc_;
-    for (const auto& a : arrivals) {
-      merged.merge(std::any_cast<const VClock&>(a.body));
+    barrier_merged_ = vc_;
+    for (const auto& a : barrier_arrivals_) {
+      barrier_merged_.merge(vclock_body(a.body));
     }
-    for (const auto& a : arrivals) {
-      const auto& their_vc = std::any_cast<const VClock&>(a.body);
+    // One pooled body serves every release message (references share it).
+    VClockRef merged_body = shared_->pools.vclock(barrier_merged_);
+    for (const auto& a : barrier_arrivals_) {
+      const VClock& their_vc = vclock_body(a.body);
       const std::uint64_t notices =
-          shared_->dir.count_notices(their_vc, merged);
+          shared_->dir.count_notices(their_vc, barrier_merged_);
       net::Message rel;
       rel.type = net::MsgType::kBarrierRelease;
       rel.dst = a.src;
       rel.payload_bytes = vclock_wire_bytes() + 8 * notices;
-      rel.body = merged;
+      rel.body = merged_body;
       charge_send(p);
       co_await p.drain();
       co_await comm_->send(std::move(rel));
     }
-    co_await apply_invalidations(p, merged);
+    barrier_arrivals_.clear();  // drops the arrival bodies back to the pool
+    merged_body.reset();
+    co_await apply_invalidations(p, barrier_merged_);
   } else {
-    barrier_release_->reset();
+    barrier_release_.reset();
     net::Message arr;
     arr.type = net::MsgType::kBarrierArrive;
     arr.dst = shared_->hub.manager();
     arr.payload_bytes = vclock_wire_bytes();
-    arr.body = vc_;
+    arr.body = shared_->pools.vclock(vc_);
     charge_send(p);
     co_await p.drain();
     co_await comm_->send(std::move(arr));
 
     const Cycles t0 = co_await p.wait_begin();
-    co_await barrier_release_->wait();
+    co_await barrier_release_.wait();
     p.wait_end(TimeCat::kBarrierWait, t0);
-    const auto& merged =
-        std::any_cast<const VClock&>(barrier_release_msg_.body);
-    co_await apply_invalidations(p, merged);
+    co_await apply_invalidations(p,
+                                 vclock_body(barrier_release_msg_.body));
+    barrier_release_msg_.recycle();  // return the shared body reference
   }
 
   // Release the node's processors into the next episode.
-  auto finished = std::move(barrier_done_);
-  barrier_done_ = std::make_shared<engine::Trigger>(*sim_);
-  finished->fire();
+  barrier_done_.complete();
 }
 
 // ---------------------------------------------------------------------------
@@ -656,7 +691,7 @@ void SvmAgent::handle_direct(net::Message&& m) {
       break;
     case net::MsgType::kBarrierRelease:
       barrier_release_msg_ = std::move(m);
-      barrier_release_->fire();
+      barrier_release_.fire();
       break;
     default:
       assert(false && "unexpected direct message");
@@ -668,10 +703,10 @@ Task<void> SvmAgent::handle_page_request(net::Message m) {
   co_await sim_->delay(cfg_->arch.tlb_access_cycles +
                        install_cycles(cfg_->arch, pb));
   auto home = space_->home_data(m.page);
-  auto data =
-      std::make_shared<std::vector<std::byte>>(home.begin(), home.end());
+  BytesRef data = shared_->pools.bytes();
+  data->bytes.assign(home.begin(), home.end());
   SVMSIM_TRACE_EVT(m.page, "page reply snapshot for node %d word0=%d", m.src,
-                   *reinterpret_cast<const int*>(data->data()));
+                   *reinterpret_cast<const int*>(data->bytes.data()));
   co_await sim_->delay(cfg_->comm.host_overhead);
   net::Message rep;
   rep.type = net::MsgType::kPageReply;
@@ -682,11 +717,10 @@ Task<void> SvmAgent::handle_page_request(net::Message m) {
 }
 
 Task<void> SvmAgent::handle_diff_batch(net::Message m) {
-  const auto& diffs =
-      *std::any_cast<const std::shared_ptr<std::vector<PageDiff>>&>(m.body);
+  const DiffBatchBody& batch = diff_batch_body(m.body);
   const std::uint32_t pb = space_->page_bytes();
   Cycles cost = 0;
-  for (const PageDiff& d : diffs) {
+  for (const PageDiff& d : batch.view()) {
     apply_diff(space_->home_data(d.page), d);
     SVMSIM_TRACE_EVT(d.page, "diff applied at home from node %d (%llu bytes)",
                      m.src, static_cast<unsigned long long>(d.modified_bytes()));
@@ -706,14 +740,14 @@ Task<void> SvmAgent::grant_lock(net::Message req) {
                   s.waiters.size());
   s.owner = req.src;
   s.recall_sent = false;
-  const auto& their_vc = std::any_cast<const VClock&>(req.body);
-  const std::uint64_t notices = shared_->dir.count_notices(their_vc, s.vc);
+  const std::uint64_t notices =
+      shared_->dir.count_notices(vclock_body(req.body), s.vc);
   co_await sim_->delay(cfg_->comm.host_overhead);
   net::Message g;
   g.type = net::MsgType::kLockGrant;
   g.lock_id = req.lock_id;
   g.payload_bytes = vclock_wire_bytes() + 8 * notices;
-  g.body = s.vc;
+  g.body = shared_->pools.vclock(s.vc);
   co_await comm_->reply(req, std::move(g));
   // Pipeline the next handoff if more requesters are queued.
   if (!s.waiters.empty() && !s.recall_sent) {
@@ -807,7 +841,7 @@ Task<void> HlrcAgent::arm_write(Processor& p, PageId page, PageCopy& c) {
   (void)page;
   if (home_of(page) == self_) co_return;  // home writes need no twin
   if (c.twin) co_return;
-  c.twin = std::make_unique<std::vector<std::byte>>(c.data);
+  c.twin = space_->acquire_twin(c.data);
   ++counters_->twins_created;
   p.charge(TimeCat::kProtocol,
            install_cycles(cfg_->arch, space_->page_bytes()));
@@ -816,32 +850,38 @@ Task<void> HlrcAgent::arm_write(Processor& p, PageId page, PageCopy& c) {
 void HlrcAgent::on_store(Processor&, PageId, PageCopy&, std::uint32_t,
                          std::uint32_t) {}
 
-PageDiff HlrcAgent::make_diff(Processor& p, PageId page, PageCopy& c) {
+void HlrcAgent::make_diff(Processor& p, PageId page, PageCopy& c,
+                          PageDiff& out) {
   assert(c.twin && "diffing a page without a twin");
-  PageDiff d = compute_diff(page, c.data, *c.twin);
+  compute_diff(page, c.data, c.twin->bytes, out);
   SVMSIM_TRACE_EVT(page, "diff created (%llu bytes modified)",
-                   static_cast<unsigned long long>(d.modified_bytes()));
+                   static_cast<unsigned long long>(out.modified_bytes()));
   p.charge(TimeCat::kProtocol,
-           diff_create_cycles(cfg_->arch, d, space_->page_bytes()));
+           diff_create_cycles(cfg_->arch, out, space_->page_bytes()));
   ++counters_->diffs_created;
-  counters_->diff_bytes += d.wire_bytes();
+  counters_->diff_bytes += out.wire_bytes();
   c.twin.reset();
-  return d;
 }
 
 Task<void> HlrcAgent::propagate_dirty(Processor& p,
                                       const std::vector<PageId>& pages) {
-  std::unordered_map<NodeId, std::shared_ptr<std::vector<PageDiff>>> batches;
-  std::unordered_map<NodeId, std::uint64_t> batch_bytes;
-  std::vector<PageId> in_flight;
-  std::unordered_set<PageId> seen;
+  const auto nodes = static_cast<std::size_t>(space_->nodes());
+  if (batch_by_home_.size() < nodes) {
+    batch_by_home_.resize(nodes);
+    batch_bytes_.resize(nodes, 0);
+  }
+  batch_homes_.clear();
+  flush_in_flight_.clear();
+  rpc_ids_.clear();
+  // The dirty list can hold duplicates (a page flushed early by an
+  // invalidation and then re-dirtied); processing one twice would wait on
+  // this very batch's own in-flight flush. Stamp instead of a seen-set.
+  const std::uint32_t epoch = ++flush_epoch_;
 
   for (PageId page : pages) {
-    // The dirty list can hold duplicates (a page flushed early by an
-    // invalidation and then re-dirtied); processing one twice would wait on
-    // this very batch's own in-flight flush.
-    if (!seen.insert(page).second) continue;
     PageCopy& c = space_->copy(self_, page);
+    if (c.flush_epoch == epoch) continue;
+    c.flush_epoch = epoch;
     // Always serialize behind an in-flight flush of this page first: a
     // concurrent flush_page_for_invalidation may be carrying *this
     // release's* writes, and the release is not complete until they are
@@ -854,37 +894,48 @@ Task<void> HlrcAgent::propagate_dirty(Processor& p,
       c.state = PageState::kReadOnly;  // re-arm write detection at home
       continue;
     }
-    PageDiff d = make_diff(p, page, c);
+    DiffBatchRef& bref = batch_by_home_[static_cast<std::size_t>(h)];
+    if (!bref) {
+      bref = shared_->pools.diff_batch();
+      batch_bytes_[static_cast<std::size_t>(h)] = 0;
+      batch_homes_.push_back(h);
+    }
+    PageDiff& d = bref->next();
+    make_diff(p, page, c, d);
     c.state = PageState::kReadOnly;
-    if (d.empty()) continue;
+    if (d.empty()) {
+      bref->pop_last();
+      continue;
+    }
     begin_page_flush(page);
-    in_flight.push_back(page);
-    auto& batch = batches[h];
-    if (!batch) batch = std::make_shared<std::vector<PageDiff>>();
-    batch_bytes[h] += d.wire_bytes();
-    batch->push_back(std::move(d));
+    flush_in_flight_.push_back(page);
+    batch_bytes_[static_cast<std::size_t>(h)] += d.wire_bytes();
   }
 
-  std::vector<std::uint64_t> ids;
-  for (auto& [h, batch] : batches) {
+  for (NodeId h : batch_homes_) {
+    DiffBatchRef& bref = batch_by_home_[static_cast<std::size_t>(h)];
+    if (bref->empty()) {  // every diff of this home came up empty
+      bref.reset();
+      continue;
+    }
     net::Message m;
     m.type = net::MsgType::kDiffBatch;
     m.dst = h;
-    m.payload_bytes = 16 + batch_bytes[h];
-    m.body = batch;
+    m.payload_bytes = 16 + batch_bytes_[static_cast<std::size_t>(h)];
+    m.body = std::move(bref);  // leaves the per-home slot empty
     charge_send(p);
     co_await p.drain();
-    ids.push_back(comm_->rpc_post(m));
+    rpc_ids_.push_back(comm_->rpc_post(m));
     co_await comm_->send(std::move(m));
   }
-  if (!ids.empty()) {
+  if (!rpc_ids_.empty()) {
     const Cycles t0 = co_await p.wait_begin();
-    for (std::uint64_t id : ids) {
+    for (std::uint64_t id : rpc_ids_) {
       co_await comm_->await_reply(id);
     }
     p.wait_end(TimeCat::kProtocol, t0);
   }
-  for (PageId page : in_flight) end_page_flush(page);
+  for (PageId page : flush_in_flight_) end_page_flush(page);
 }
 
 Task<void> HlrcAgent::flush_page_for_invalidation(Processor& p, PageId page,
@@ -892,15 +943,15 @@ Task<void> HlrcAgent::flush_page_for_invalidation(Processor& p, PageId page,
   co_await wait_page_flush(p, page);
   if (!c.dirty) co_return;
   c.dirty = false;
-  PageDiff d = make_diff(p, page, c);
+  DiffBatchRef batch = shared_->pools.diff_batch();
+  PageDiff& d = batch->next();
+  make_diff(p, page, c, d);
   // Demote immediately: a write racing the ack below must fault so it gets
   // a fresh twin and is not silently dropped by the coming invalidation.
   c.state = PageState::kReadOnly;
-  if (d.empty()) co_return;
+  if (d.empty()) co_return;  // dropping the ref recycles the batch
   begin_page_flush(page);
-  auto batch = std::make_shared<std::vector<PageDiff>>();
   const std::uint64_t wire = d.wire_bytes();
-  batch->push_back(std::move(d));
   net::Message m;
   m.type = net::MsgType::kDiffBatch;
   m.dst = home_of(page);

@@ -17,18 +17,23 @@
 // agent; processors inside an SMP node share pages through hardware), with
 // vector timestamps, eager home updates at releases, and invalidation at
 // acquires via write notices.
+//
+// Hot-path structure (PR 2): protocol episodes recycle pooled Triggers with
+// generation counters instead of allocating shared_ptr<Trigger> per miss;
+// in-flight fetch/flush triggers live in dense per-page slot vectors; lock
+// proxies are indexed by lock id; message bodies come from the per-machine
+// ProtocolPools; and every per-release scratch container is a reused member.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/params.hpp"
 #include "core/processor.hpp"
 #include "core/stats.hpp"
+#include "engine/ring_queue.hpp"
 #include "engine/simulator.hpp"
 #include "engine/task.hpp"
 #include "net/messaging.hpp"
@@ -38,16 +43,19 @@
 #include "svm/diff.hpp"
 #include "svm/lock_manager.hpp"
 #include "svm/page_directory.hpp"
+#include "svm/pools.hpp"
 #include "svm/vclock.hpp"
 
 namespace svmsim::svm {
 
-/// Protocol state shared across all nodes of one machine (interval history,
-/// lock homes, barrier rendezvous).
+/// Protocol state shared across all nodes of one machine (object pools,
+/// interval history, lock homes, barrier rendezvous). The pools are declared
+/// first so they outlive every structure that can hold references into them.
 struct SharedState {
   SharedState(engine::Simulator& sim, int nodes, int max_locks)
-      : dir(nodes), locks(nodes, max_locks), hub(sim, nodes) {}
+      : pools(sim), dir(nodes), locks(nodes, max_locks), hub(sim, nodes) {}
 
+  ProtocolPools pools;
   PageDirectory dir;
   LockDirectory locks;
   BarrierHub hub;
@@ -87,11 +95,12 @@ class SvmAgent {
 
  protected:
   struct LockProxy {
+    bool init = false;            ///< token ownership has been initialized
     bool token = false;
     bool held = false;
     bool remote_pending = false;  ///< a remote acquire is in flight
     bool recall_pending = false;  ///< home wants the token back
-    std::deque<engine::Trigger*> waiters;  // local processors queued
+    engine::RingQueue<engine::Trigger*> waiters;  // local processors queued
   };
 
   // Page access paths.
@@ -145,6 +154,10 @@ class SvmAgent {
   void charge_send(Processor& p) {
     p.charge(TimeCat::kProtocol, cfg_->comm.host_overhead);
   }
+  /// Index of `p` within this node (for per-processor scratch buffers).
+  [[nodiscard]] int local_index(const Processor& p) const noexcept {
+    return p.id() - self_ * procs_on_node_;
+  }
 
   engine::Simulator* sim_;
   const SimConfig* cfg_;
@@ -158,28 +171,45 @@ class SvmAgent {
   VClock vc_;
   std::vector<PageId> dirty_pages_;     ///< need propagation at next flush
   std::vector<PageId> interval_pages_;  ///< all pages dirtied this interval
+  // Scratch buffers swapped with the lists above at flush time (the lists
+  // refill while the flush is in flight); storage ping-pongs between them.
+  std::vector<PageId> propagating_;
+  std::vector<PageId> interval_scratch_;
   bool node_flushing_ = false;          ///< a release flush is in progress
-  // shared_ptr: waiters capture the episode's trigger before suspending and
-  // must keep it alive across the flush/barrier completing under them.
-  std::shared_ptr<engine::Trigger> node_flush_done_;
-  std::unordered_map<int, LockProxy> lock_proxies_;
-  /// Fault coalescing: in-flight fetches, one trigger per page.
-  std::unordered_map<PageId, std::shared_ptr<engine::Trigger>> pending_fetch_;
-  /// In-flight release flushes, one trigger per page. An invalidation of a
-  /// page whose diff/updates are still in flight to the home must wait for
-  /// the ack: refetching earlier could resurrect a home copy that misses
-  /// this node's own flushed writes.
-  std::unordered_map<PageId, std::shared_ptr<engine::Trigger>> pending_flush_;
+  /// Waiters hold a generation-stamped Episode across the flush completing
+  /// under them; the flusher ends the episode with complete().
+  engine::Trigger node_flush_done_;
+  std::deque<LockProxy> lock_proxies_;  ///< by lock id; lazily grown
+  /// Fault coalescing: in-flight fetches, one pooled trigger slot per page.
+  std::vector<engine::Trigger*> pending_fetch_;
+  /// In-flight release flushes, one pooled trigger slot per page. An
+  /// invalidation of a page whose diff/updates are still in flight to the
+  /// home must wait for the ack: refetching earlier could resurrect a home
+  /// copy that misses this node's own flushed writes.
+  std::vector<engine::Trigger*> pending_flush_;
+  /// Pages whose flush triggers this propagate pass owns (scratch; the pass
+  /// is serialized by node_flushing_).
+  std::vector<PageId> flush_in_flight_;
+  /// Stamp for deduplicating the dirty list within one propagate pass
+  /// (compared against PageCopy::flush_epoch).
+  std::uint32_t flush_epoch_ = 0;
+  /// Per-local-processor invalidation scratch (apply_invalidations can run
+  /// on several processors of the node concurrently).
+  std::vector<std::vector<PageId>> inval_scratch_;
 
+  engine::Trigger*& fetch_slot(PageId page);
+  engine::Trigger*& flush_slot(PageId page);
   void begin_page_flush(PageId page);
   void end_page_flush(PageId page);
   engine::Task<void> wait_page_flush(Processor& p, PageId page);
 
   // Hierarchical-barrier state (one episode at a time).
   int barrier_arrived_ = 0;
-  std::shared_ptr<engine::Trigger> barrier_done_;
-  std::unique_ptr<engine::Trigger> barrier_release_;
+  engine::Trigger barrier_done_;
+  engine::Trigger barrier_release_;
   net::Message barrier_release_msg_;
+  std::vector<net::Message> barrier_arrivals_;  ///< manager scratch
+  VClock barrier_merged_;                       ///< manager scratch
 };
 
 class HlrcAgent final : public SvmAgent {
@@ -197,8 +227,17 @@ class HlrcAgent final : public SvmAgent {
                                                  PageCopy& c) override;
 
  private:
-  /// Diff one dirty page against its twin and reset its write detection.
-  PageDiff make_diff(Processor& p, PageId page, PageCopy& c);
+  /// Diff one dirty page against its twin into `out` (a pooled batch slot)
+  /// and reset its write detection.
+  void make_diff(Processor& p, PageId page, PageCopy& c, PageDiff& out);
+
+  // Release-flush scratch, reused across flushes (serialized by
+  // node_flushing_). batch_by_home_/batch_bytes_ are indexed by home node;
+  // batch_homes_ keeps the deterministic (first-touch) emission order.
+  std::vector<DiffBatchRef> batch_by_home_;
+  std::vector<std::uint64_t> batch_bytes_;
+  std::vector<NodeId> batch_homes_;
+  std::vector<std::uint64_t> rpc_ids_;
 };
 
 }  // namespace svmsim::svm

@@ -10,12 +10,18 @@
 // the protocol agents. The per-lock release timestamp (`vc`) conceptually
 // travels with the token; keeping it here is a simulator shortcut that does
 // not change message counts or sizes (grants still carry it on the wire).
+//
+// Home-state slots are created lazily on first touch (a std::deque keeps
+// references stable across growth — handlers hold LockHomeState& over
+// co_awaits): a machine exposing 8192 lock ids no longer pays 8192 VClock
+// allocations up front for the handful of locks an application uses.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <vector>
 
+#include "engine/ring_queue.hpp"
 #include "engine/types.hpp"
 #include "net/message.hpp"
 #include "svm/vclock.hpp"
@@ -25,26 +31,23 @@ namespace svmsim::svm {
 struct LockHomeState {
   NodeId owner = -1;        ///< node currently holding the token
   bool recall_sent = false; ///< a recall to `owner` is outstanding
-  std::deque<net::Message> waiters;  ///< queued kLockAcquire requests
+  engine::RingQueue<net::Message> waiters;  ///< queued kLockAcquire requests
   VClock vc;                ///< timestamp of the lock's last release
 };
 
 class LockDirectory {
  public:
   LockDirectory(int nodes, int max_locks)
-      : nodes_(nodes),
-        locks_(static_cast<std::size_t>(max_locks)) {
-    for (auto& l : locks_) {
-      l.vc = VClock(nodes);
-    }
-  }
+      : nodes_(nodes), max_locks_(max_locks) {}
 
-  [[nodiscard]] int max_locks() const noexcept {
-    return static_cast<int>(locks_.size());
-  }
+  [[nodiscard]] int max_locks() const noexcept { return max_locks_; }
   [[nodiscard]] NodeId home_of(int lock) const { return lock % nodes_; }
 
   [[nodiscard]] LockHomeState& state(int lock) {
+    while (locks_.size() <= static_cast<std::size_t>(lock)) {
+      locks_.emplace_back();
+      locks_.back().vc = VClock(nodes_);
+    }
     return locks_[static_cast<std::size_t>(lock)];
   }
 
@@ -57,7 +60,8 @@ class LockDirectory {
 
  private:
   int nodes_;
-  std::vector<LockHomeState> locks_;
+  int max_locks_;
+  std::deque<LockHomeState> locks_;  // lazily grown; stable references
 };
 
 }  // namespace svmsim::svm

@@ -5,11 +5,12 @@
 namespace svmsim::svm {
 
 void PageDirectory::record_interval(NodeId n, std::uint32_t index,
-                                    std::vector<PageId> pages) {
-  auto& h = hist_[static_cast<std::size_t>(n)];
-  assert(index == h.size() + 1 && "intervals must be recorded in order");
+                                    std::span<const PageId> pages) {
+  auto& l = log_[static_cast<std::size_t>(n)];
+  assert(index == l.ends.size() + 1 && "intervals must be recorded in order");
   (void)index;
-  h.push_back(std::move(pages));
+  l.pages.insert(l.pages.end(), pages.begin(), pages.end());
+  l.ends.push_back(static_cast<std::uint32_t>(l.pages.size()));
 }
 
 std::uint64_t PageDirectory::collect_notices(
@@ -17,15 +18,16 @@ std::uint64_t PageDirectory::collect_notices(
     const std::function<void(PageId, NodeId)>& fn) const {
   std::uint64_t count = 0;
   for (NodeId n = 0; n < nodes(); ++n) {
-    const auto& h = hist_[static_cast<std::size_t>(n)];
+    const auto& l = log_[static_cast<std::size_t>(n)];
     const std::uint32_t from = have.get(n);
     const std::uint32_t to = target.get(n);
-    for (std::uint32_t i = from; i < to; ++i) {
-      for (PageId p : h[i]) {
-        fn(p, n);
-        ++count;
-      }
+    if (from >= to) continue;
+    const std::uint32_t lo = begin_of(l, from);
+    const std::uint32_t hi = l.ends[to - 1];
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      fn(l.pages[i], n);
     }
+    count += hi - lo;
   }
   return count;
 }
@@ -34,10 +36,11 @@ std::uint64_t PageDirectory::count_notices(const VClock& have,
                                            const VClock& target) const {
   std::uint64_t count = 0;
   for (NodeId n = 0; n < nodes(); ++n) {
-    const auto& h = hist_[static_cast<std::size_t>(n)];
-    for (std::uint32_t i = have.get(n); i < target.get(n); ++i) {
-      count += h[i].size();
-    }
+    const auto& l = log_[static_cast<std::size_t>(n)];
+    const std::uint32_t from = have.get(n);
+    const std::uint32_t to = target.get(n);
+    if (from >= to) continue;
+    count += l.ends[to - 1] - begin_of(l, from);
   }
   return count;
 }

@@ -134,18 +134,77 @@ TEST_P(DiffRoundTrip, RandomMutationsRoundTrip) {
   apply_diff(rebuilt, d);
   EXPECT_EQ(std::memcmp(rebuilt.data(), cur.data(), size), 0)
       << "seed=" << seed;
-  // Runs are sorted, non-overlapping, word-aligned.
+  // Runs are sorted, non-overlapping, word-aligned, and their data regions
+  // tile the flat data buffer back to back.
   std::uint32_t prev_end = 0;
+  std::uint32_t data_cursor = 0;
   for (const auto& r : d.runs) {
     EXPECT_EQ(r.offset % kDiffWordBytes, 0u);
+    EXPECT_EQ(r.len % kDiffWordBytes, 0u);
     EXPECT_GE(r.offset, prev_end);
-    EXPECT_FALSE(r.bytes.empty());
-    prev_end = r.offset + static_cast<std::uint32_t>(r.bytes.size());
+    EXPECT_GT(r.len, 0u);
+    EXPECT_EQ(r.data_off, data_cursor);
+    prev_end = r.offset + r.len;
+    data_cursor += r.len;
   }
+  EXPECT_EQ(data_cursor, d.data.size());
+
+  // Recycling property: computing into a used PageDiff (capacity kept)
+  // yields exactly the same diff as a fresh one.
+  PageDiff reused = compute_diff(0, twin, cur);  // junk to overwrite
+  compute_diff(0, cur, twin, reused);
+  ASSERT_EQ(reused.runs.size(), d.runs.size());
+  EXPECT_EQ(reused.data, d.data);
+  auto rebuilt2 = twin;
+  apply_diff(rebuilt2, reused);
+  EXPECT_EQ(std::memcmp(rebuilt2.data(), cur.data(), size), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DiffRoundTrip,
                          ::testing::Range<std::uint64_t>(0, 24));
+
+TEST(Diff, FullPageChangeIsOneRun) {
+  auto twin = make_page(1024, 9);
+  std::vector<std::byte> cur(1024);
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    cur[i] = twin[i] ^ std::byte{0xff};  // every word differs
+  }
+  auto d = compute_diff(3, cur, twin);
+  ASSERT_EQ(d.runs.size(), 1u);
+  EXPECT_EQ(d.runs[0].offset, 0u);
+  EXPECT_EQ(d.runs[0].len, 1024u);
+  EXPECT_EQ(d.modified_bytes(), 1024u);
+  auto home = twin;
+  apply_diff(home, d);
+  EXPECT_EQ(std::memcmp(home.data(), cur.data(), cur.size()), 0);
+}
+
+TEST(Diff, RunsFallOnWordBoundaries) {
+  // A single-byte change expands to its containing word; a change spanning
+  // a word boundary expands to both words.
+  auto twin = make_page(256, 10);
+  auto cur = twin;
+  cur[kDiffWordBytes - 1] ^= std::byte{1};  // last byte of word 0
+  cur[kDiffWordBytes] ^= std::byte{1};      // first byte of word 1
+  auto d = compute_diff(0, cur, twin);
+  ASSERT_EQ(d.runs.size(), 1u);
+  EXPECT_EQ(d.runs[0].offset, 0u);
+  EXPECT_EQ(d.runs[0].len, 2 * kDiffWordBytes);
+  EXPECT_EQ(std::memcmp(d.bytes_of(d.runs[0]).data(), cur.data(),
+                        2 * kDiffWordBytes),
+            0);
+}
+
+TEST(Diff, EmptyDiffAppliesAsNoOp) {
+  auto page = make_page(512, 11);
+  auto d = compute_diff(0, page, page);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.wire_bytes(), 16u);
+  auto home = make_page(512, 12);
+  auto before = home;
+  apply_diff(home, d);
+  EXPECT_EQ(home, before);
+}
 
 }  // namespace
 }  // namespace svmsim::svm

@@ -1,0 +1,262 @@
+// Pool subsystem tests: ObjectPool/PoolRef recycling, Trigger generation
+// counters and Episode staleness, and the headline property of PR 2 — a
+// steady-state simulation window performs zero heap allocations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common.hpp"
+#include "core/pool.hpp"
+#include "engine/simulator.hpp"
+#include "engine/task.hpp"
+#include "svm/payload.hpp"
+#include "svm/pools.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (whole binary). Only windows read it; absolute
+// values include gtest's own traffic.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+// GCC pairs inlined new-expressions with the malloc inside the replacement
+// and flags a mismatch; the replacement set is consistent, so silence it.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace svmsim::test {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ObjectPool / PoolRef
+// ---------------------------------------------------------------------------
+
+TEST(ObjectPool, RecycleAfterRelease) {
+  core::ObjectPool<core::PooledBytes> pool;
+  auto r = pool.acquire();
+  r->bytes.resize(1000);
+  EXPECT_EQ(pool.outstanding(), 1u);
+  r.reset();
+  EXPECT_EQ(pool.outstanding(), 0u);
+
+  auto r2 = pool.acquire();
+  EXPECT_TRUE(r2->bytes.empty());  // recycle() cleared the logical state
+#ifndef SVMSIM_POOL_PARANOID
+  EXPECT_GE(r2->bytes.capacity(), 1000u);  // ... but kept the capacity
+  EXPECT_EQ(pool.allocated(), 1u);         // no second object was created
+#endif
+}
+
+TEST(ObjectPool, CopySharesAndLastReferenceRecycles) {
+  core::ObjectPool<core::PooledBytes> pool;
+  auto a = pool.acquire();
+  a->bytes.resize(8);
+  auto b = a;
+  EXPECT_EQ(a.use_count(), 2u);
+  a.reset();
+  EXPECT_EQ(pool.outstanding(), 1u);  // b still holds it
+  EXPECT_EQ(b->bytes.size(), 8u);
+  b.reset();
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(ObjectPool, ReleaseOrderIndependence) {
+  // Acquire a handful, release them in a scrambled order, reacquire: every
+  // object comes back clean regardless of the order it was freed in.
+  core::ObjectPool<core::PooledBytes> pool;
+  std::vector<core::PoolRef<core::PooledBytes>> refs;
+  for (int i = 0; i < 5; ++i) {
+    refs.push_back(pool.acquire());
+    refs.back()->bytes.resize(static_cast<std::size_t>(16 * (i + 1)));
+  }
+  for (int i : {2, 0, 4, 1, 3}) refs[static_cast<std::size_t>(i)].reset();
+  EXPECT_EQ(pool.outstanding(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    auto r = pool.acquire();
+    EXPECT_TRUE(r->bytes.empty());
+  }
+}
+
+TEST(ObjectPool, DiffBatchRecyclesUsedPrefix) {
+  core::ObjectPool<svm::DiffBatchBody> pool;
+  auto b = pool.acquire();
+  svm::PageDiff& d = b->next();
+  d.page = 42;
+  d.runs.push_back({0, 4, 0});
+  d.data.resize(4);
+  EXPECT_EQ(b->size(), 1u);
+  b.reset();
+
+  auto b2 = pool.acquire();
+  EXPECT_TRUE(b2->empty());
+  svm::PageDiff& d2 = b2->next();
+  EXPECT_EQ(d2.page, 0u);  // next() hands out a cleared slot
+  EXPECT_TRUE(d2.runs.empty());
+  EXPECT_TRUE(d2.data.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Trigger generations and Episodes
+// ---------------------------------------------------------------------------
+
+TEST(TriggerPool, CompleteAdvancesGenerationAndStaleEpisodeIsDone) {
+  engine::Simulator sim;
+  engine::TriggerPool pool(sim);
+
+  engine::Trigger* t = pool.acquire();
+  engine::Episode ep(*t);
+  EXPECT_FALSE(ep.done());
+  t->complete();
+  EXPECT_TRUE(ep.done());  // generation advanced; no reset() races possible
+  pool.release(t);
+
+  // Reuse the same trigger for a new episode: the old handle stays done and
+  // never latches onto the new user's episode.
+  engine::Trigger* t2 = pool.acquire();
+#ifndef SVMSIM_POOL_PARANOID
+  EXPECT_EQ(t2, t);  // TriggerPool recycles even under paranoid builds,
+#endif               // but don't pin the identity there
+  engine::Episode ep2(*t2);
+  EXPECT_TRUE(ep.done());
+  EXPECT_FALSE(ep2.done());
+  t2->complete();
+  pool.release(t2);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(TriggerPool, StaleEpisodeWaitDoesNotSuspend) {
+  engine::Simulator sim;
+  engine::TriggerPool pool(sim);
+  engine::Trigger* t = pool.acquire();
+  engine::Episode stale(*t);
+  t->complete();
+  pool.release(t);
+  pool.release(pool.acquire());  // churn the pool a little
+
+  bool resumed = false;
+  engine::spawn([](engine::Episode ep, bool& r) -> engine::Task<void> {
+    co_await ep.wait();  // already done: must not suspend
+    r = true;
+  }(stale, resumed));
+  EXPECT_TRUE(resumed);  // completed synchronously, before run_until_idle
+}
+
+TEST(TriggerPool, RecycledTriggerDoesNotWakeOldEpisodeWaiters) {
+  engine::Simulator sim;
+  engine::TriggerPool pool(sim);
+  engine::Trigger* t = pool.acquire();
+
+  int wakes = 0;
+  engine::Episode ep(*t);
+  engine::spawn([](engine::Episode e, int& n) -> engine::Task<void> {
+    co_await e.wait();
+    ++n;
+  }(ep, wakes));
+  sim.run_until_idle();
+  EXPECT_EQ(wakes, 0);
+
+  t->complete();  // ends episode 1: the waiter wakes exactly once
+  sim.run_until_idle();
+  EXPECT_EQ(wakes, 1);
+  pool.release(t);
+
+  engine::Trigger* t2 = pool.acquire();
+  t2->complete();  // episode 2 on the recycled trigger
+  sim.run_until_idle();
+  EXPECT_EQ(wakes, 1);  // the old waiter did not observe the new episode
+  pool.release(t2);
+}
+
+TEST(ProtocolPools, BodiesCascadeBackOnRelease) {
+  engine::Simulator sim;
+  svm::ProtocolPools pools(sim);
+  {
+    svm::VClockRef v = pools.vclock(svm::VClock(4));
+    svm::BytesRef b = pools.bytes();
+    b->bytes.resize(64);
+    svm::DiffBatchRef d = pools.diff_batch();
+    d->next().page = 1;
+    EXPECT_EQ(pools.vclocks.outstanding(), 1u);
+    EXPECT_EQ(pools.buffers.outstanding(), 1u);
+    EXPECT_EQ(pools.diff_batches.outstanding(), 1u);
+  }
+  EXPECT_EQ(pools.vclocks.outstanding(), 0u);
+  EXPECT_EQ(pools.buffers.outstanding(), 0u);
+  EXPECT_EQ(pools.diff_batches.outstanding(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation steady state
+// ---------------------------------------------------------------------------
+
+#if !defined(SVMSIM_POOL_PARANOID) && !defined(SVMSIM_NO_FRAME_POOL)
+TEST(SteadyState, BarrierLoopWindowAllocatesNothing) {
+  // Two nodes exchanging hierarchical barriers exercise the full messaging
+  // stack (bodies, NIC packets, transmit closures, trigger episodes). After
+  // a warm-up, a window of whole-system activity must not touch the heap.
+  SimConfig cfg = config_with(4, 2);
+  std::uint64_t at_warm = 0, at_end = 0;
+  LambdaWorkload w(
+      "barrier-steady-state", nullptr,
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        apps::Shm shm(m, pid);
+        for (int it = 0; it < 30; ++it) {
+          co_await shm.barrier();
+          if (pid == 0 && it == 14) {
+            at_warm = g_allocs.load(std::memory_order_relaxed);
+          }
+          if (pid == 0 && it == 29) {
+            at_end = g_allocs.load(std::memory_order_relaxed);
+          }
+        }
+      });
+  run(w, cfg);
+  EXPECT_EQ(at_end - at_warm, 0u)
+      << "steady-state barrier window allocated " << (at_end - at_warm)
+      << " times";
+}
+#endif
+
+// Completed runs drain every pool back to zero outstanding (see the note on
+// ObjectPool's destructor about why this lives in a test, not an assert).
+TEST(SteadyState, CompletedRunLeavesNoOutstandingPoolObjects) {
+  SimConfig cfg = config_with(4, 2);
+  LambdaWorkload w(
+      "drain-check", nullptr,
+      [&](Machine& m, ProcId pid) -> engine::Task<void> {
+        apps::Shm shm(m, pid);
+        co_await shm.barrier();
+        for (int it = 0; it < 3; ++it) {
+          co_await shm.lock(1);
+          co_await shm.unlock(1);
+          co_await shm.barrier();
+        }
+      });
+  run(w, cfg);
+  // run() tears the Machine down after completion; reaching here without a
+  // paranoid-mode leak (asserted by ASan builds) is the check.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace svmsim::test

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the tier-1 test suite under ASan+UBSan and run it.
+#
+# The sanitizer build defines SVMSIM_POOL_PARANOID and SVMSIM_NO_FRAME_POOL
+# (see the SVMSIM_SANITIZE option in CMakeLists.txt): object pools and the
+# coroutine frame pool hand memory straight back to the allocator, so
+# use-after-release bugs in the pooled protocol hot path surface as real
+# heap-use-after-free reports instead of being masked by recycling.
+#
+#   tools/sanitize.sh [build-dir] [-- extra ctest args]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-sanitize}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+cmake -S "$repo_root" -B "$build_dir" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSVMSIM_SANITIZE=address,undefined
+cmake --build "$build_dir" -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+# ASan instrumentation defeats the tail calls behind coroutine symmetric
+# transfer, so long synchronous co_await chains consume real stack that the
+# optimized build does not. Raise the limit rather than shrinking the tests.
+ulimit -s unlimited 2>/dev/null || ulimit -s 1048576 || true
+ctest --test-dir "$build_dir" --output-on-failure "$@"
