@@ -6,9 +6,12 @@
 //   ./perf_selfcheck [--scale=tiny] [--jobs=N] [--apps=a,b,c]
 //                    [--out=BENCH_sweep.json]
 //
-// If the output file already exists, the previous serial numbers are read
-// back and a before/after comparison line is printed, so regressions in
-// either throughput or allocation discipline are visible at a glance.
+// If the output file already exists with a compatible schema, the previous
+// serial numbers are read back and a before/after comparison line is
+// printed, so regressions in either throughput or allocation discipline are
+// visible at a glance. A missing previous file or one written by an older
+// schema skips the comparison with a note on stderr — never an error:
+// the first run on a fresh checkout must succeed.
 //
 // Exit status is nonzero if the parallel results differ from the serial
 // ones, so this doubles as a determinism check for CI.
@@ -115,6 +118,30 @@ std::optional<double> json_number_after(const std::string& text,
   return std::strtod(text.c_str() + colon + 1, nullptr);
 }
 
+/// The schema version this program writes. v2 added the top-level "schema"
+/// tag itself and the shared "micro_event_queue" section (see
+/// micro_event_queue.cpp); files without the tag predate v2.
+constexpr int kSchema = 2;
+
+/// Extract `"key": {...}` verbatim from a flat JSON object (brace-depth
+/// scan; the files these tools write never put braces inside strings).
+std::optional<std::string> json_section(const std::string& text,
+                                        const std::string& key) {
+  const std::size_t k = text.find("\"" + key + "\"");
+  if (k == std::string::npos) return std::nullopt;
+  std::size_t i = text.find('{', k);
+  if (i == std::string::npos) return std::nullopt;
+  int depth = 0;
+  for (; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) {
+      const std::size_t start = text.find('{', k);
+      return text.substr(start, i + 1 - start);
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -129,16 +156,35 @@ int main(int argc, char** argv) {
       opt.jobs > 1 ? static_cast<unsigned>(opt.jobs)
                    : harness::JobPool::hardware_default();
 
-  // Previous numbers (if any) for the before/after comparison.
+  // Previous numbers (if any) for the before/after comparison. Degrade
+  // gracefully: a missing or older-schema file only skips the comparison.
   std::optional<double> prev_eps, prev_ape;
+  std::optional<std::string> micro_section;
   {
     std::ifstream prev(out_path);
-    if (prev) {
+    if (!prev) {
+      std::fprintf(stderr,
+                   "perf_selfcheck: no previous %s; skipping the "
+                   "before/after comparison\n",
+                   out_path.c_str());
+    } else {
       std::stringstream ss;
       ss << prev.rdbuf();
       const std::string text = ss.str();
-      prev_eps = json_number_after(text, "serial", "events_per_sec");
-      prev_ape = json_number_after(text, "serial", "allocs_per_event");
+      const auto schema = json_number_after(text, "bench", "schema");
+      if (!schema || static_cast<int>(*schema) < kSchema) {
+        std::fprintf(stderr,
+                     "perf_selfcheck: previous %s has schema %d (this "
+                     "program writes %d); skipping the before/after "
+                     "comparison\n",
+                     out_path.c_str(), schema ? static_cast<int>(*schema) : 1,
+                     kSchema);
+      } else {
+        prev_eps = json_number_after(text, "serial", "events_per_sec");
+        prev_ape = json_number_after(text, "serial", "allocs_per_event");
+      }
+      // Keep micro_event_queue's section (if any) across our rewrite.
+      micro_section = json_section(text, "micro_event_queue");
     }
   }
 
@@ -169,6 +215,7 @@ int main(int argc, char** argv) {
   std::ofstream json(out_path);
   json << "{\n"
        << "  \"bench\": \"sweep\",\n"
+       << "  \"schema\": " << kSchema << ",\n"
        << "  \"points\": " << points.size() << ",\n"
        << "  \"jobs\": " << jobs << ",\n"
        << "  \"hardware_threads\": " << harness::JobPool::hardware_default()
@@ -189,8 +236,11 @@ int main(int argc, char** argv) {
     json << "},\n";
   }
   json << "  \"speedup\": " << speedup << ",\n"
-       << "  \"identical_results\": " << (same ? "true" : "false") << "\n"
-       << "}\n";
+       << "  \"identical_results\": " << (same ? "true" : "false");
+  if (micro_section) {
+    json << ",\n  \"micro_event_queue\": " << *micro_section;
+  }
+  json << "\n}\n";
   json.close();
 
   std::printf("== perf_selfcheck: serial vs --jobs=%u sweep ==\n", jobs);

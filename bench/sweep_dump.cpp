@@ -1,0 +1,86 @@
+// Deterministic sweep dump for scheduler-equivalence checking.
+//
+// Runs one small fixed sweep per protocol (HLRC and AURC; two apps, two
+// host-overhead points, tiny scale) and prints every observable of each run:
+// execution time, events fired, validation flag, uniprocessor baseline,
+// per-category time breakdown and the full protocol/communication counter
+// set. The output is bit-reproducible, so diffing it between two builds
+// (e.g. -DSVMSIM_SCHEDULER=tiered vs heap — see
+// tools/scheduler_equivalence.sh) proves the builds fire events in the same
+// (time, seq) order everywhere these protocols exercise the engine.
+//
+// Keep the format append-only: the equivalence check compares byte-for-byte.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace svmsim;
+
+  harness::Sweep sweep(apps::Scale::kTiny);
+
+  std::vector<harness::SweepPoint> points;
+  for (Protocol proto : {Protocol::kHLRC, Protocol::kAURC}) {
+    for (const char* app : {"fft", "lu"}) {
+      for (double overhead : {0.0, 1000.0}) {
+        SimConfig cfg = bench::base_config();
+        cfg.comm.protocol = proto;
+        cfg.comm.host_overhead = static_cast<Cycles>(overhead);
+        points.push_back({app, cfg, overhead});
+      }
+    }
+  }
+
+  const auto runs = sweep.run_points(points);
+
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    const auto& cfg = points[i].cfg;
+    std::printf("%s proto=%s host_overhead=%llu\n", r.app.c_str(),
+                cfg.comm.protocol == Protocol::kAURC ? "aurc" : "hlrc",
+                static_cast<unsigned long long>(cfg.comm.host_overhead));
+    std::printf("  time=%llu events=%llu validated=%d uniprocessor=%llu\n",
+                static_cast<unsigned long long>(r.result.time),
+                static_cast<unsigned long long>(r.result.events),
+                r.result.validated ? 1 : 0,
+                static_cast<unsigned long long>(r.uniprocessor));
+    const auto& st = r.result.stats;
+    for (int p = 0; p < st.procs(); ++p) {
+      std::printf("  proc%d:", p);
+      for (int c = 0; c < kTimeCats; ++c) {
+        std::printf(" %llu", static_cast<unsigned long long>(
+                                 st.proc(p).t[static_cast<std::size_t>(c)]));
+      }
+      std::printf("\n");
+    }
+    const auto& k = st.counters();
+    std::printf(
+        "  faults=%llu/%llu/%llu fetches=%llu locks=%llu/%llu barriers=%llu\n",
+        static_cast<unsigned long long>(k.page_faults),
+        static_cast<unsigned long long>(k.read_faults),
+        static_cast<unsigned long long>(k.write_faults),
+        static_cast<unsigned long long>(k.page_fetches),
+        static_cast<unsigned long long>(k.local_lock_acquires),
+        static_cast<unsigned long long>(k.remote_lock_acquires),
+        static_cast<unsigned long long>(k.barriers));
+    std::printf(
+        "  msgs=%llu packets=%llu bytes=%llu interrupts=%llu polled=%llu\n",
+        static_cast<unsigned long long>(k.messages_sent),
+        static_cast<unsigned long long>(k.packets_sent),
+        static_cast<unsigned long long>(k.bytes_sent),
+        static_cast<unsigned long long>(k.interrupts),
+        static_cast<unsigned long long>(k.polled_requests));
+    std::printf(
+        "  twins=%llu diffs=%llu diff_bytes=%llu notices=%llu invals=%llu "
+        "updates=%llu update_bytes=%llu overflows=%llu\n",
+        static_cast<unsigned long long>(k.twins_created),
+        static_cast<unsigned long long>(k.diffs_created),
+        static_cast<unsigned long long>(k.diff_bytes),
+        static_cast<unsigned long long>(k.write_notices),
+        static_cast<unsigned long long>(k.invalidations),
+        static_cast<unsigned long long>(k.updates_sent),
+        static_cast<unsigned long long>(k.update_bytes),
+        static_cast<unsigned long long>(k.ni_queue_overflows));
+  }
+  return 0;
+}

@@ -1,13 +1,18 @@
 #include "engine/event_queue.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <utility>
 
-namespace svmsim::engine {
+namespace svmsim::engine::detail {
 
-std::vector<EventQueue::Event>& EventQueue::spare_slot() {
-  // One drained event vector per thread, recycled across EventQueue
+// ---------------------------------------------------------------------------
+// HeapScheduler
+// ---------------------------------------------------------------------------
+
+std::vector<HeapScheduler::Event>& HeapScheduler::spare_slot() {
+  // One drained event vector per thread, recycled across scheduler
   // lifetimes so consecutive runs (a sweep on this thread) reuse warmed-up
   // capacity instead of regrowing from zero. thread_local keeps the parallel
   // sweep executor's workers from ever sharing storage.
@@ -15,32 +20,32 @@ std::vector<EventQueue::Event>& EventQueue::spare_slot() {
   return spare;
 }
 
-EventQueue::EventQueue() : heap_(std::move(spare_slot())) {
+HeapScheduler::HeapScheduler() : heap_(std::move(spare_slot())) {
   heap_.clear();
   if (heap_.capacity() < 256) heap_.reserve(256);
 }
 
-EventQueue::~EventQueue() {
+HeapScheduler::~HeapScheduler() {
   heap_.clear();
   if (heap_.capacity() > spare_slot().capacity()) {
     spare_slot() = std::move(heap_);
   }
 }
 
-void EventQueue::schedule_at(Cycles when, Action action) {
+void HeapScheduler::schedule_at(Cycles when, Action action) {
   assert(when >= now_ && "cannot schedule an event in the past");
   heap_.push_back(Event{when, next_seq_++, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
 }
 
-EventQueue::Event EventQueue::pop_top() {
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+HeapScheduler::Event HeapScheduler::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
   Event ev = std::move(heap_.back());
   heap_.pop_back();
   return ev;
 }
 
-bool EventQueue::step() {
+bool HeapScheduler::step() {
   if (heap_.empty()) return false;
   Event ev = pop_top();
   now_ = ev.when;
@@ -49,12 +54,12 @@ bool EventQueue::step() {
   return true;
 }
 
-void EventQueue::run_until_idle() {
+void HeapScheduler::run_until_idle() {
   while (step()) {
   }
 }
 
-bool EventQueue::run_until(Cycles deadline) {
+bool HeapScheduler::run_until(Cycles deadline) {
   while (!heap_.empty()) {
     if (heap_.front().when > deadline) return false;
     step();
@@ -62,4 +67,329 @@ bool EventQueue::run_until(Cycles deadline) {
   return true;
 }
 
-}  // namespace svmsim::engine
+// ---------------------------------------------------------------------------
+// TieredScheduler
+//
+// Wheel geometry: level k (k = 0..3) has 256 slots of 256^k cycles each, so
+// level k spans one 256^(k+1)-cycle window aligned on the cursor. An event
+// lives at the lowest level whose current window contains it — i.e. the
+// highest byte in which `when` still differs from the cursor picks the
+// level, and that byte of `when` picks the slot. Each slot therefore covers
+// exactly one child window; when the cursor enters a window, the parent slot
+// "cascades": its nodes are relinked one level down (and the nodes of a
+// level-0 slot, which share a single tick, splice onto the FIFO lane as a
+// batch).
+//
+// Ordering invariant: a slot list, restricted to any single `when`, is
+// always in ascending seq order. It holds because (a) a slot receives at
+// most one cascade batch, exactly when the cursor enters its window and
+// before any user code runs, (b) cascading walks the parent list in order,
+// and (c) every later direct insert carries a seq greater than anything
+// already stored anywhere. Splicing a level-0 slot onto the lane in list
+// order is thus the (time, seq) order the contract requires.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Heap comparator over pooled nodes (the heap tier stores pointers).
+struct NodeFiresLater {
+  template <typename NodePtr>
+  bool operator()(const NodePtr& a, const NodePtr& b) const noexcept {
+    if (a->when != b->when) return a->when > b->when;
+    return a->seq > b->seq;
+  }
+};
+
+}  // namespace
+
+TieredScheduler::Storage& TieredScheduler::spare_storage() {
+  // The whole node pool (chunks + free list + heap vector) is recycled
+  // across scheduler lifetimes so consecutive runs on one thread reuse
+  // warmed-up capacity. thread_local keeps the parallel sweep executor's
+  // workers from ever sharing storage.
+  thread_local Storage spare;
+  return spare;
+}
+
+TieredScheduler::TieredScheduler() {
+  Storage& sp = spare_storage();
+  if (sp.node_count > 0) {
+    chunks_ = std::move(sp.chunks);
+    free_ = sp.free_list;
+    node_count_ = sp.node_count;
+    heap_ = std::move(sp.heap);
+    sp.chunks.clear();
+    sp.free_list = nullptr;
+    sp.node_count = 0;
+  }
+  heap_.clear();
+}
+
+TieredScheduler::~TieredScheduler() {
+  clear();
+  Storage& sp = spare_storage();
+  if (node_count_ > sp.node_count) {
+    sp.chunks = std::move(chunks_);
+    sp.free_list = free_;
+    sp.node_count = node_count_;
+    sp.heap = std::move(heap_);
+  }
+}
+
+void TieredScheduler::refill() {
+  // Geometric growth: double the pool each time, starting at 256 nodes.
+  const std::size_t add = node_count_ == 0 ? 256 : node_count_;
+  chunks_.push_back(std::make_unique<Node[]>(add));
+  Node* nodes = chunks_.back().get();
+  for (std::size_t i = 0; i < add; ++i) {
+    nodes[i].next = free_;
+    free_ = &nodes[i];
+  }
+  node_count_ += add;
+}
+
+void TieredScheduler::reserve(std::size_t events) {
+  while (node_count_ < events) refill();
+}
+
+void TieredScheduler::route(Node* n) {
+  // Routing happens against the wheel cursor, not now_: the cursor may have
+  // swept ahead of now_ while moving a tick onto the lane. If the wheel and
+  // lane are empty the cursor position carries no state, so drag it up to
+  // now_ first — this keeps long heap-driven stretches (events beyond the
+  // horizon) from degrading every later insert to the heap tier.
+  if (wheel_count_ == 0 && lane_size_ == 0 && cursor_ < now_) cursor_ = now_;
+  if (n->when < cursor_ || ((n->when ^ cursor_) >> (kLevels * kSlotBits)) != 0) {
+    heap_.push_back(n);
+    std::push_heap(heap_.begin(), heap_.end(), NodeFiresLater{});
+    return;
+  }
+  wheel_insert(n);
+}
+
+void TieredScheduler::wheel_insert(Node* n) {
+  // Highest differing byte between when and cursor picks the level.
+  const Cycles x = n->when ^ cursor_;
+  int level = 0;
+  if (x >> kSlotBits) {
+    level = (x >> (2 * kSlotBits)) ? ((x >> (3 * kSlotBits)) ? 3 : 2) : 1;
+  }
+  const std::size_t idx =
+      static_cast<std::size_t>(n->when >> (level * kSlotBits)) & kSlotMask;
+  List& s = slots_[level][idx];
+  n->next = nullptr;
+  if (s.tail) {
+    s.tail->next = n;
+  } else {
+    s.head = n;
+  }
+  s.tail = n;
+  ++counts_[level][idx];
+  bits_[level][idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  ++wheel_count_;
+}
+
+int TieredScheduler::scan_bits(const std::uint64_t* words, std::size_t from) {
+  std::size_t w = from >> 6;
+  std::uint64_t cur = words[w] & (~std::uint64_t{0} << (from & 63));
+  for (;;) {
+    if (cur) {
+      return static_cast<int>((w << 6) +
+                              static_cast<std::size_t>(std::countr_zero(cur)));
+    }
+    if (++w == kWords) return -1;
+    cur = words[w];
+  }
+}
+
+bool TieredScheduler::drain_level0() {
+  const int found =
+      scan_bits(bits_[0], static_cast<std::size_t>(cursor_ & kSlotMask));
+  if (found < 0) return false;
+  const auto idx = static_cast<std::size_t>(found);
+  const Cycles tick = (cursor_ & ~kSlotMask) | static_cast<Cycles>(idx);
+  List& s = slots_[0][idx];
+  assert(s.head != nullptr && s.head->when == tick &&
+         "a level-0 slot must hold a single tick");
+  // Splice the whole slot list (already in seq order) onto the lane: O(1).
+  if (lane_.tail) {
+    lane_.tail->next = s.head;
+  } else {
+    lane_.head = s.head;
+  }
+  lane_.tail = s.tail;
+  lane_size_ += counts_[0][idx];
+  wheel_count_ -= counts_[0][idx];
+  counts_[0][idx] = 0;
+  s.head = s.tail = nullptr;
+  bits_[0][idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+  cursor_ = tick + 1;
+  // Crossing a 256-cycle boundary enters new windows; cascade their parent
+  // slots down *now*, before any insert can route against the new cursor.
+  if ((cursor_ & kSlotMask) == 0) roll();
+  return true;
+}
+
+void TieredScheduler::cascade(int level, std::size_t idx) {
+  List& s = slots_[level][idx];
+  Node* n = s.head;
+  s.head = s.tail = nullptr;
+  wheel_count_ -= counts_[level][idx];
+  counts_[level][idx] = 0;
+  bits_[level][idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+  while (n != nullptr) {
+    Node* next = n->next;
+    // Every cascaded node re-routes strictly below `level` (its window now
+    // matches the cursor's through this level), so `s` is never re-entered
+    // while we walk it.
+    assert(((n->when ^ cursor_) >> (level * kSlotBits)) == 0);
+    wheel_insert(n);
+    n = next;
+  }
+}
+
+void TieredScheduler::roll() {
+  assert((cursor_ & kSlotMask) == 0);
+  // Cascade top-down so each level's events are in place before the child
+  // window is populated from them. At a 2^32 boundary there is nothing to
+  // pull (beyond-horizon events wait in the heap tier), and the level-3
+  // slot for the new window is empty by construction.
+  if ((cursor_ & ((Cycles{1} << (3 * kSlotBits)) - 1)) == 0) {
+    const std::size_t i3 =
+        static_cast<std::size_t>(cursor_ >> (3 * kSlotBits)) & kSlotMask;
+    if (bit_set(3, i3)) cascade(3, i3);
+  }
+  if ((cursor_ & ((Cycles{1} << (2 * kSlotBits)) - 1)) == 0) {
+    const std::size_t i2 =
+        static_cast<std::size_t>(cursor_ >> (2 * kSlotBits)) & kSlotMask;
+    if (bit_set(2, i2)) cascade(2, i2);
+  }
+  const std::size_t i1 =
+      static_cast<std::size_t>(cursor_ >> kSlotBits) & kSlotMask;
+  if (bit_set(1, i1)) cascade(1, i1);
+}
+
+bool TieredScheduler::cascade_next(int level) {
+  const int found = scan_bits(
+      bits_[level],
+      static_cast<std::size_t>(cursor_ >> (level * kSlotBits)) & kSlotMask);
+  if (found < 0) return false;
+  // Jump the cursor to the base of that slot's child window and unpack it.
+  // Slots behind the per-level cursor index are empty (their times have
+  // passed), so the jump skips only verified-empty space.
+  const Cycles span = Cycles{1} << (level * kSlotBits);
+  const Cycles window = span << kSlotBits;
+  cursor_ = (cursor_ & ~(window - 1)) | (static_cast<Cycles>(found) * span);
+  cascade(level, static_cast<std::size_t>(found));
+  return true;
+}
+
+bool TieredScheduler::advance() {
+  while (wheel_count_ > 0) {
+    if (drain_level0()) return true;
+    if (cascade_next(1) || cascade_next(2) || cascade_next(3)) continue;
+    assert(false && "wheel_count_ out of sync with occupied slots");
+    wheel_count_ = 0;  // defensive: fall back to lane/heap in release builds
+  }
+  return false;
+}
+
+void TieredScheduler::fire_lane() {
+  Node* n = lane_.head;
+  lane_.head = n->next;
+  if (lane_.head == nullptr) lane_.tail = nullptr;
+  --lane_size_;
+  now_ = n->when;
+  ++fired_;
+  n->action();  // in place: no action move on the fire path
+  release(n);
+}
+
+void TieredScheduler::fire_heap() {
+  std::pop_heap(heap_.begin(), heap_.end(), NodeFiresLater{});
+  Node* n = heap_.back();
+  heap_.pop_back();
+  now_ = n->when;
+  ++fired_;
+  n->action();
+  release(n);
+}
+
+void TieredScheduler::fire_next() {
+  if (lane_.head != nullptr) [[likely]] {
+    if (heap_.empty()) [[likely]] {
+      fire_lane();
+      return;
+    }
+    const Node* h = heap_.front();
+    const Node* l = lane_.head;
+    if (h->when > l->when || (h->when == l->when && h->seq > l->seq)) {
+      fire_lane();
+      return;
+    }
+  }
+  fire_heap();
+}
+
+bool TieredScheduler::step() {
+  if (lane_.head == nullptr && !advance() && heap_.empty()) return false;
+  fire_next();
+  return true;
+}
+
+void TieredScheduler::run_until_idle() {
+  while (step()) {
+  }
+}
+
+bool TieredScheduler::run_until(Cycles deadline) {
+  for (;;) {
+    if (lane_.head == nullptr && !advance() && heap_.empty()) return true;
+    Cycles next;
+    if (lane_.head != nullptr) {
+      next = lane_.head->when;
+      if (!heap_.empty() && heap_.front()->when < next) {
+        next = heap_.front()->when;
+      }
+    } else {
+      next = heap_.front()->when;
+    }
+    if (next > deadline) return false;
+    fire_next();
+  }
+}
+
+void TieredScheduler::release_list(List& l) noexcept {
+  Node* n = l.head;
+  while (n != nullptr) {
+    Node* next = n->next;
+    release(n);
+    n = next;
+  }
+  l.head = l.tail = nullptr;
+}
+
+void TieredScheduler::clear() noexcept {
+  release_list(lane_);
+  lane_size_ = 0;
+  for (Node* n : heap_) release(n);
+  heap_.clear();
+  if (wheel_count_ > 0) {
+    for (int level = 0; level < kLevels; ++level) {
+      for (std::size_t w = 0; w < kWords; ++w) {
+        std::uint64_t bits = bits_[level][w];
+        while (bits) {
+          const std::size_t idx =
+              (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          release_list(slots_[level][idx]);
+          counts_[level][idx] = 0;
+        }
+        bits_[level][w] = 0;
+      }
+    }
+    wheel_count_ = 0;
+  }
+}
+
+}  // namespace svmsim::engine::detail

@@ -2,38 +2,74 @@
 //
 // Events are (time, sequence) ordered; the sequence number makes simultaneous
 // events fire in insertion order, which keeps every simulation run
-// bit-reproducible regardless of heap internals.
+// bit-reproducible regardless of scheduler internals.
 //
-// Hot-path notes: callbacks are stored in a small-buffer-optimized
-// InlineAction (no per-event heap allocation for typical captures), the heap
-// is a plain std::vector driven by std::push_heap/pop_heap so its storage can
-// be reserved, and drained event vectors are recycled through a thread-local
+// Two interchangeable backends implement the same contract (see
+// docs/engine.md):
+//
+//  * detail::TieredScheduler (the default) — a three-tier scheduler shaped
+//    around the simulator's scheduling profile: a zero/now-delay FIFO lane
+//    for same-tick resumptions (resource grants, trigger fires, yields), a
+//    4-level x 256-slot hierarchical timing wheel for the short fixed
+//    latencies that make up nearly all remaining events, and a small binary
+//    heap for the rare events the wheel cannot index (far-future deadlines
+//    beyond the wheel horizon, and out-of-band inserts behind the wheel
+//    cursor). No comparator runs on the hot path.
+//
+//  * detail::HeapScheduler — the original single std::push_heap/pop_heap
+//    binary heap, kept compilable behind -DSVMSIM_SCHEDULER=heap (CMake) for
+//    A/B measurement and differential testing.
+//
+// Hot-path notes shared by both: callbacks are stored in a
+// small-buffer-optimized InlineAction (no per-event heap allocation for
+// typical captures) and drained storage is recycled through a thread-local
 // spare slot so back-to-back simulations on one thread skip the allocator
 // warm-up entirely.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "engine/inline_function.hpp"
+#include "engine/ring_queue.hpp"
 #include "engine/types.hpp"
 
 namespace svmsim::engine {
+namespace detail {
 
-class EventQueue {
+/// One scheduled event. The inline capacity of 24 bytes covers the captures
+/// the simulator's hot resumption paths create (a coroutine handle, or this
+/// + a handle or two) while keeping the event at 64 bytes — one cache line;
+/// larger workload captures fall back to one heap allocation.
+struct SchedulerEvent {
+  Cycles when = 0;
+  std::uint64_t seq = 0;
+  BasicInlineAction<24> action;
+};
+
+/// Heap comparator: "a fires later than b" in the (time, seq) total order.
+struct FiresLater {
+  bool operator()(const SchedulerEvent& a,
+                  const SchedulerEvent& b) const noexcept {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+};
+
+/// The original binary-heap scheduler: one std::vector driven by
+/// std::push_heap/pop_heap, O(log n) comparator churn per event.
+class HeapScheduler {
  public:
-  /// Inline capacity of 24 bytes covers the captures the simulator's hot
-  /// resumption paths create (a coroutine handle, or this + a handle or
-  /// two) while keeping Event at 64 bytes — one cache line; larger workload
-  /// captures fall back to one heap allocation.
   using Action = BasicInlineAction<24>;
 
-  EventQueue();
-  ~EventQueue();
+  HeapScheduler();
+  ~HeapScheduler();
 
-  EventQueue(const EventQueue&) = delete;
-  EventQueue& operator=(const EventQueue&) = delete;
+  HeapScheduler(const HeapScheduler&) = delete;
+  HeapScheduler& operator=(const HeapScheduler&) = delete;
 
   /// Current simulated time. Advances only inside run()/step().
   [[nodiscard]] Cycles now() const noexcept { return now_; }
@@ -45,6 +81,9 @@ class EventQueue {
   void schedule_in(Cycles delay, Action action) {
     schedule_at(now_ + delay, std::move(action));
   }
+
+  /// Schedule `action` at the current time (equivalent to schedule_in(0)).
+  void schedule_now(Action action) { schedule_at(now_, std::move(action)); }
 
   /// Pre-size the event storage (events, not bytes).
   void reserve(std::size_t events) { heap_.reserve(events); }
@@ -69,17 +108,7 @@ class EventQueue {
   void clear() noexcept { heap_.clear(); }
 
  private:
-  struct Event {
-    Cycles when;
-    std::uint64_t seq;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  using Event = SchedulerEvent;
 
   /// Pop the earliest event off the heap (caller checked non-empty).
   Event pop_top();
@@ -92,5 +121,209 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
 };
+
+/// The tiered scheduler: zero-delay FIFO lane + hierarchical timing wheel +
+/// overflow heap, all serving the same (time, seq) total order.
+///
+/// Events live in pooled intrusive-list nodes: tiers link and splice
+/// pointers instead of relocating 64-byte events, the node pool grows
+/// geometrically and is recycled per thread across simulations, and a
+/// warmed steady state never touches the allocator (the invariant
+/// tests/test_pools.cpp enforces for whole-system windows).
+///
+/// Tier selection on insert:
+///  * when == now() while the lane is at now() (the schedule_in(0) /
+///    schedule_now resumption path): append to the FIFO lane — no
+///    comparator, no slot math. Lane FIFO order is seq order because seq is
+///    globally monotonic.
+///  * when indexable by the wheel (not behind the cursor, within the same
+///    2^32-cycle top-level window): append to the slot list of the lowest
+///    wheel level whose granularity can distinguish it. The (time, seq)
+///    order within a slot is its append order because every slot is filled
+///    by at most one cascade batch (older seqs) followed by direct inserts
+///    (newer, monotonically growing seqs); draining a level-0 slot is an
+///    O(1) splice of the whole list onto the lane.
+///  * everything else (beyond the horizon, or behind the cursor because the
+///    wheel swept ahead of now() while filling the lane): a small binary
+///    heap, consulted by (time, seq) comparison against the lane front on
+///    every fire. In steady state it is empty and costs one branch.
+class TieredScheduler {
+ public:
+  using Action = BasicInlineAction<24>;
+
+  TieredScheduler();
+  ~TieredScheduler();
+
+  TieredScheduler(const TieredScheduler&) = delete;
+  TieredScheduler& operator=(const TieredScheduler&) = delete;
+
+  /// Current simulated time. Advances only inside run()/step().
+  [[nodiscard]] Cycles now() const noexcept { return now_; }
+
+  /// Schedule `action` to run at absolute time `when` (must be >= now()).
+  void schedule_at(Cycles when, Action action) {
+    assert(when >= now_ && "cannot schedule an event in the past");
+    Node* n = acquire(when, std::move(action));
+    if (when == now_ && lane_admits_now()) {
+      lane_append(n);
+      return;
+    }
+    route(n);
+  }
+
+  /// Schedule `action` to run `delay` cycles from now.
+  void schedule_in(Cycles delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Same-tick fast path (equivalent to schedule_in(0)): the dominant
+  /// resumption pattern — resource handoffs, trigger fires, yields — skips
+  /// all tier routing and lands in the FIFO lane.
+  void schedule_now(Action action) {
+    Node* n = acquire(now_, std::move(action));
+    if (lane_admits_now()) [[likely]] {
+      lane_append(n);
+    } else {
+      route(n);
+    }
+  }
+
+  /// Pre-size the event node pool (events, not bytes).
+  void reserve(std::size_t events);
+
+  [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return lane_size_ + wheel_count_ + heap_.size();
+  }
+  [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+
+  /// Run a single event; returns false if none pending.
+  bool step();
+
+  /// Run until no events remain.
+  void run_until_idle();
+
+  /// Run until no events remain or simulated time would exceed `deadline`.
+  /// Returns true if the queue drained, false if the deadline stopped it.
+  bool run_until(Cycles deadline);
+
+  /// Drop all pending events from every tier without running them.
+  void clear() noexcept;
+
+ private:
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 8;
+  static constexpr std::size_t kSlots = std::size_t{1} << kSlotBits;
+  static constexpr Cycles kSlotMask = kSlots - 1;
+  static constexpr std::size_t kWords = kSlots / 64;  // occupancy bitmap
+
+  /// A pooled event node: 24 bytes of ordering/link state + the 48-byte
+  /// inline action. Nodes never move once placed — tiers relink pointers.
+  struct Node {
+    Cycles when = 0;
+    std::uint64_t seq = 0;
+    Node* next = nullptr;
+    Action action;
+  };
+
+  /// A FIFO of nodes (slot or lane); append is O(1), splice is O(1).
+  struct List {
+    Node* head = nullptr;
+    Node* tail = nullptr;
+  };
+
+  /// Recycled storage stashed per thread across scheduler lifetimes (see
+  /// event_queue.cpp). Chunks own the nodes; the free list threads through
+  /// them. Stashed only fully drained, so no action outlives its pools.
+  struct Storage {
+    std::vector<std::unique_ptr<Node[]>> chunks;
+    Node* free_list = nullptr;
+    std::size_t node_count = 0;
+    std::vector<Node*> heap;
+  };
+  static Storage& spare_storage();
+
+  /// True while appending at now() preserves the (time, seq) fire order:
+  /// the lane is empty or already holds this tick's events. (The lane can
+  /// hold a *future* tick after run_until() stopped on a deadline mid-fill;
+  /// then a same-tick insert must detour through the heap tier.)
+  [[nodiscard]] bool lane_admits_now() const noexcept {
+    return lane_.head == nullptr || lane_.head->when == now_;
+  }
+
+  [[nodiscard]] Node* acquire(Cycles when, Action&& action) {
+    if (free_ == nullptr) [[unlikely]] refill();
+    Node* n = free_;
+    free_ = n->next;
+    n->when = when;
+    n->seq = next_seq_++;
+    n->next = nullptr;
+    n->action = std::move(action);
+    return n;
+  }
+
+  /// Return a node to the pool, dropping its action (and any pooled
+  /// references the capture holds) immediately.
+  void release(Node* n) noexcept {
+    n->action = Action{};
+    n->next = free_;
+    free_ = n;
+  }
+
+  void lane_append(Node* n) noexcept {
+    if (lane_.tail) {
+      lane_.tail->next = n;
+    } else {
+      lane_.head = n;
+    }
+    lane_.tail = n;
+    ++lane_size_;
+  }
+
+  void refill();                      // grow the node pool (out of line)
+  void route(Node* n);                // wheel-or-heap slow path
+  void wheel_insert(Node* n);         // pre: indexable by the wheel
+  bool advance();                     // splice the next wheel tick onto lane
+  bool drain_level0();
+  bool cascade_next(int level);       // jump cursor to next occupied slot
+  void cascade(int level, std::size_t idx);
+  void roll();                        // cursor crossed a slot-0 boundary
+  void fire_lane();
+  void fire_heap();
+  void fire_next();                   // caller ensured lane or heap nonempty
+  void release_list(List& l) noexcept;
+
+  [[nodiscard]] bool bit_set(int level, std::size_t idx) const noexcept {
+    return (bits_[level][idx >> 6] >> (idx & 63)) & 1u;
+  }
+  static int scan_bits(const std::uint64_t* words, std::size_t from);
+
+  List lane_;                         // tier 1: same-tick FIFO
+  std::size_t lane_size_ = 0;
+  List slots_[kLevels][kSlots] = {};  // tier 2: hierarchical timing wheel
+  std::uint32_t counts_[kLevels][kSlots] = {};
+  std::uint64_t bits_[kLevels][kWords] = {};
+  std::vector<Node*> heap_;           // tier 3: overflow/out-of-band heap
+  Cycles now_ = 0;
+  Cycles cursor_ = 0;                 // first time not yet swept to the lane
+  std::size_t wheel_count_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  // Node pool.
+  Node* free_ = nullptr;
+  std::size_t node_count_ = 0;
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+};
+
+}  // namespace detail
+
+// -DSVMSIM_SCHEDULER=heap (CMake) swaps the simulator back onto the binary
+// heap for A/B measurement and differential testing; see
+// tools/scheduler_equivalence.sh.
+#ifdef SVMSIM_SCHEDULER_HEAP
+using EventQueue = detail::HeapScheduler;
+#else
+using EventQueue = detail::TieredScheduler;
+#endif
 
 }  // namespace svmsim::engine

@@ -36,7 +36,7 @@ void Resource::release() {
     auto h = waiters_.front();
     waiters_.pop_front();
     // Hand over ownership directly: busy_ stays true for the new holder.
-    sim_->queue().schedule_in(0, [h] { h.resume(); });
+    sim_->queue().schedule_now([h] { h.resume(); });
   } else {
     busy_ = false;
   }
@@ -91,7 +91,7 @@ Task<void> PriorityResource::serve(int priority, Cycles service) {
     std::pop_heap(waiters_.begin(), waiters_.end(), After{});
     auto h = waiters_.back().handle;
     waiters_.pop_back();
-    sim_->queue().schedule_in(0, [h] { h.resume(); });  // busy_ stays true
+    sim_->queue().schedule_now([h] { h.resume(); });  // busy_ stays true
   } else {
     busy_ = false;
   }

@@ -19,14 +19,28 @@ class RingQueue {
  public:
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  /// Pre-size the backing store to hold at least `n` elements (rounded up to
+  /// a power of two) without further allocation. Keeps existing elements.
+  void reserve(std::size_t n) {
+    std::size_t cap = buf_.empty() ? 8 : buf_.size();
+    while (cap < n) cap *= 2;
+    if (cap > buf_.size()) grow_to(cap);
+  }
 
   void push_back(T v) {
-    if (size_ == buf_.size()) grow();
+    if (size_ == buf_.size()) grow_to(buf_.empty() ? 8 : buf_.size() * 2);
     buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(v);
     ++size_;
   }
 
   [[nodiscard]] T& front() {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+
+  [[nodiscard]] const T& front() const {
     assert(size_ > 0);
     return buf_[head_];
   }
@@ -44,8 +58,7 @@ class RingQueue {
   }
 
  private:
-  void grow() {
-    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+  void grow_to(std::size_t cap) {
     std::vector<T> next(cap);
     for (std::size_t i = 0; i < size_; ++i) {
       next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);

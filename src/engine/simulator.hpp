@@ -29,7 +29,11 @@ class Simulator {
       Cycles d;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        q.schedule_in(d, [h] { h.resume(); });
+        if (d == 0) {
+          q.schedule_now([h] { h.resume(); });  // same-tick FIFO fast lane
+        } else {
+          q.schedule_in(d, [h] { h.resume(); });
+        }
       }
       void await_resume() const noexcept {}
     };
@@ -78,7 +82,7 @@ class Trigger {
     if (fired_) return;
     fired_ = true;
     for (auto h : waiters_) {
-      sim_->queue().schedule_in(0, [h] { h.resume(); });
+      sim_->queue().schedule_now([h] { h.resume(); });
     }
     waiters_.clear();
   }
@@ -208,7 +212,7 @@ class Semaphore {
     if (!waiters_.empty()) {
       auto h = waiters_.front();
       waiters_.pop_front();
-      sim_->queue().schedule_in(0, [h] { h.resume(); });
+      sim_->queue().schedule_now([h] { h.resume(); });
     } else {
       ++count_;
     }

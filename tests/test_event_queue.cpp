@@ -97,5 +97,58 @@ TEST(EventQueue, ZeroDelayEventRunsAfterCurrentEvent) {
   EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
 }
 
+TEST(EventQueue, ScheduleNowMatchesScheduleInZero) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(10, [&] {
+    q.schedule_in(0, [&] { order.push_back(1); });
+    q.schedule_now([&] { order.push_back(2); });
+    q.schedule_at(10, [&] { order.push_back(3); });
+  });
+  q.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 10u);
+}
+
+// Regression: while step() is mid-fire at tick T, a mix of already-queued
+// time-T events and same-tick inserts made *during* the in-flight event must
+// still fire in global insertion order — the same-tick fast lane may not
+// jump ahead of previously queued work, and pre-queued events may not
+// starve the new inserts.
+TEST(EventQueue, SameTickInsertionOrderDuringInFlightStep) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(7, [&] {
+    order.push_back(0);
+    q.schedule_in(0, [&] { order.push_back(3); });
+    q.schedule_at(7, [&] {
+      order.push_back(4);
+      q.schedule_now([&] { order.push_back(6); });
+    });
+  });
+  q.schedule_at(7, [&] { order.push_back(1); });
+  q.schedule_at(7, [&] {
+    order.push_back(2);
+    q.schedule_now([&] { order.push_back(5); });
+  });
+  q.schedule_at(9, [&] { order.push_back(7); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(q.events_fired(), 8u);
+}
+
+#ifndef NDEBUG
+TEST(EventQueueDeathTest, SchedulingInThePastAsserts) {
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.schedule_at(10, [&] { q.schedule_at(5, [] {}); });
+        q.run_until_idle();
+      },
+      "cannot schedule an event in the past");
+}
+#endif
+
 }  // namespace
 }  // namespace svmsim::engine

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Prove the two EventQueue backends are observably identical: build a second
+# tree with the *other* SVMSIM_SCHEDULER setting, run sweep_dump (one small
+# sweep per protocol, printing every counter) in both, and diff the output
+# byte-for-byte. Run by ctest as the scheduler_equivalence test.
+#
+#   tools/scheduler_equivalence.sh <build_dir> [scheduler] [sanitize]
+#
+#   build_dir   an already-built tree containing bench/sweep_dump
+#   scheduler   that tree's SVMSIM_SCHEDULER value (default: tiered)
+#   sanitize    that tree's SVMSIM_SANITIZE value, propagated to the second
+#               build so the check also runs under ASan/UBSan (default: none)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:?usage: scheduler_equivalence.sh <build_dir> [scheduler] [sanitize]}"
+scheduler="${2:-tiered}"
+sanitize="${3:-}"
+
+if [ "$scheduler" = "heap" ]; then
+  other="tiered"
+else
+  other="heap"
+fi
+
+alt_dir="$build_dir/scheduler-equiv"
+cmake -S "$repo_root" -B "$alt_dir" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSVMSIM_SCHEDULER="$other" \
+  -DSVMSIM_SANITIZE="$sanitize" > "$alt_dir.cmake.log" 2>&1 \
+  || { cat "$alt_dir.cmake.log"; exit 1; }
+cmake --build "$alt_dir" --target sweep_dump -j "$(nproc)" \
+  > "$alt_dir.build.log" 2>&1 || { cat "$alt_dir.build.log"; exit 1; }
+
+"$build_dir/bench/sweep_dump" > "$alt_dir/dump-$scheduler.txt"
+"$alt_dir/bench/sweep_dump" > "$alt_dir/dump-$other.txt"
+
+if ! diff -u "$alt_dir/dump-$scheduler.txt" "$alt_dir/dump-$other.txt"; then
+  echo "scheduler_equivalence: $scheduler and $other builds DIVERGE" >&2
+  exit 1
+fi
+echo "scheduler_equivalence: $scheduler == $other ($(wc -l < "$alt_dir/dump-$scheduler.txt") lines identical)"
