@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace svmsim::bench {
@@ -27,6 +28,19 @@ Options Options::parse(int argc, char** argv) {
   } else {
     opt.app_names = apps::suite();
   }
+  opt.trace.path = cli.get_or("trace", "");
+  opt.trace.enabled = !opt.trace.path.empty();
+  if (auto cats = cli.get("trace-categories")) {
+    if (auto mask = trace::parse_mask(*cats)) {
+      opt.trace.mask = *mask;
+    } else {
+      std::fprintf(stderr,
+                   "unknown --trace-categories value '%s' "
+                   "(expected a comma list of page,lock,net,irq,sched)\n",
+                   cats->c_str());
+      std::exit(2);
+    }
+  }
   opt.jobs = static_cast<int>(cli.get_int(
       "jobs", static_cast<long>(harness::JobPool::hardware_default())));
   opt.jobs = std::max(1, opt.jobs);
@@ -49,9 +63,15 @@ std::vector<harness::SweepPoint> suite_points(
   std::vector<harness::SweepPoint> points;
   points.reserve(opt.app_names.size() * values.size());
   for (const auto& app : opt.app_names) {
-    for (double v : values) {
-      harness::SweepPoint p{app, base_config(), v};
-      apply(p.cfg, v);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      harness::SweepPoint p{app, base_config(), values[i]};
+      apply(p.cfg, values[i]);
+      p.cfg.trace = opt.trace;
+      if (opt.trace.enabled) {
+        // Each point is its own Machine/run: give each its own trace file.
+        p.cfg.trace.path =
+            opt.trace.path + "." + app + "-" + std::to_string(i);
+      }
       points.push_back(std::move(p));
     }
   }

@@ -6,6 +6,9 @@
 //   --apps=a,b,c               restrict to a subset of the suite
 //   --jobs=N                   run up to N simulation points concurrently
 //                              (default: hardware concurrency; 1 = serial)
+//   --trace=<file>             record a binary event trace per sweep point
+//                              (each point writes <file>.<app>-<index>)
+//   --trace-categories=a,b     restrict tracing to page,lock,net,irq,sched
 #pragma once
 
 #include <functional>
@@ -19,6 +22,7 @@
 #include "harness/job_pool.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
+#include "trace/config.hpp"
 
 namespace svmsim::bench {
 
@@ -27,6 +31,7 @@ struct Options {
   std::string csv_dir;
   std::vector<std::string> app_names;
   int jobs = 1;
+  trace::Config trace;  ///< applied to every sweep point (path is a prefix)
 
   static Options parse(int argc, char** argv);
 

@@ -29,6 +29,7 @@
 #include "engine/event_queue.hpp"
 #include "harness/cli.hpp"
 #include "harness/report.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -115,27 +116,6 @@ double run_chain(const Scenario& sc, std::size_t depth, std::uint64_t fires) {
   return wall > 0 ? static_cast<double>(fires) / wall : 0.0;
 }
 
-/// Remove `"key": {...}` (plus the separating comma) from a flat JSON
-/// object, using a brace-depth scan; our generated JSON never nests braces
-/// inside strings, so this is exact for the files these tools write.
-std::string strip_section(std::string text, const std::string& key) {
-  const std::size_t k = text.find("\"" + key + "\"");
-  if (k == std::string::npos) return text;
-  std::size_t begin = text.find_last_of(',', k);
-  if (begin == std::string::npos) begin = k;
-  std::size_t i = text.find('{', k);
-  if (i == std::string::npos) return text;
-  int depth = 0;
-  for (; i < text.size(); ++i) {
-    if (text[i] == '{') ++depth;
-    if (text[i] == '}' && --depth == 0) break;
-  }
-  std::size_t end = i + 1;
-  if (begin == k && end < text.size() && text[end] == ',') ++end;  // leading
-  text.erase(begin, end - begin);
-  return text;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,18 +158,17 @@ int main(int argc, char** argv) {
     if (in) {
       std::stringstream ss;
       ss << in.rdbuf();
-      text = strip_section(ss.str(), "micro_event_queue");
+      text = harness::strip_json_section(ss.str(), "micro_event_queue");
     }
   }
   const std::size_t close = text.find_last_of('}');
   if (close == std::string::npos) {
-    text = "{\n  \"bench\": \"sweep\",\n  \"schema\": 2,\n  " + section.str() +
-           "\n}\n";
+    text = "{\n  \"bench\": \"sweep\",\n  \"schema\": 2,\n  \"build\": \"" +
+           trace::build_provenance() + "\",\n  " + section.str() + "\n}\n";
   } else {
     text = text.substr(0, close) + ",\n  " + section.str() + "\n}\n";
   }
-  std::ofstream out(out_path);
-  out << text;
+  harness::write_file_atomic(out_path, text);
   std::printf("(merged into %s)\n", out_path.c_str());
   return 0;
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "trace/trace.hpp"
 
 // ---------------------------------------------------------------------------
 // Global allocation counter: every operator-new in the binary ticks it.
@@ -123,25 +124,6 @@ std::optional<double> json_number_after(const std::string& text,
 /// micro_event_queue.cpp); files without the tag predate v2.
 constexpr int kSchema = 2;
 
-/// Extract `"key": {...}` verbatim from a flat JSON object (brace-depth
-/// scan; the files these tools write never put braces inside strings).
-std::optional<std::string> json_section(const std::string& text,
-                                        const std::string& key) {
-  const std::size_t k = text.find("\"" + key + "\"");
-  if (k == std::string::npos) return std::nullopt;
-  std::size_t i = text.find('{', k);
-  if (i == std::string::npos) return std::nullopt;
-  int depth = 0;
-  for (; i < text.size(); ++i) {
-    if (text[i] == '{') ++depth;
-    if (text[i] == '}' && --depth == 0) {
-      const std::size_t start = text.find('{', k);
-      return text.substr(start, i + 1 - start);
-    }
-  }
-  return std::nullopt;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -159,7 +141,7 @@ int main(int argc, char** argv) {
   // Previous numbers (if any) for the before/after comparison. Degrade
   // gracefully: a missing or older-schema file only skips the comparison.
   std::optional<double> prev_eps, prev_ape;
-  std::optional<std::string> micro_section;
+  std::optional<std::string> micro_section, overhead_section;
   {
     std::ifstream prev(out_path);
     if (!prev) {
@@ -183,8 +165,9 @@ int main(int argc, char** argv) {
         prev_eps = json_number_after(text, "serial", "events_per_sec");
         prev_ape = json_number_after(text, "serial", "allocs_per_event");
       }
-      // Keep micro_event_queue's section (if any) across our rewrite.
-      micro_section = json_section(text, "micro_event_queue");
+      // Keep the other tools' sections (if any) across our rewrite.
+      micro_section = harness::json_object_section(text, "micro_event_queue");
+      overhead_section = harness::json_object_section(text, "trace_overhead");
     }
   }
 
@@ -212,10 +195,11 @@ int main(int argc, char** argv) {
                              ? serial.wall_seconds / parallel.wall_seconds
                              : 0.0;
 
-  std::ofstream json(out_path);
+  std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"sweep\",\n"
        << "  \"schema\": " << kSchema << ",\n"
+       << "  \"build\": \"" << trace::build_provenance() << "\",\n"
        << "  \"points\": " << points.size() << ",\n"
        << "  \"jobs\": " << jobs << ",\n"
        << "  \"hardware_threads\": " << harness::JobPool::hardware_default()
@@ -240,8 +224,11 @@ int main(int argc, char** argv) {
   if (micro_section) {
     json << ",\n  \"micro_event_queue\": " << *micro_section;
   }
+  if (overhead_section) {
+    json << ",\n  \"trace_overhead\": " << *overhead_section;
+  }
   json << "\n}\n";
-  json.close();
+  harness::write_file_atomic(out_path, json.str());
 
   std::printf("== perf_selfcheck: serial vs --jobs=%u sweep ==\n", jobs);
   harness::Table t(

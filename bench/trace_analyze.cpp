@@ -1,0 +1,124 @@
+// Trace analyzer: recompute per-category time breakdowns, counters, and the
+// hottest pages/locks from a binary trace, and cross-check them against the
+// core::Stats embedded in the file (the whole-simulation correctness oracle).
+//
+//   trace_analyze <trace.bin>            print the analysis report
+//   trace_analyze --check <trace.bin>    verify; exit 1 on any mismatch
+//   trace_analyze --run [--app=fft] [--protocol=hlrc|aurc] [--scale=tiny]
+//                 [--out=<file>] [--check] [--top=N]
+//       drive one traced run, write the trace, re-read it, and analyze.
+//       This mode backs the trace_analyze_check_* ctest entries.
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "apps/registry.hpp"
+#include "core/params.hpp"
+#include "core/runner.hpp"
+#include "harness/cli.hpp"
+#include "trace/analyze.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace svmsim;
+
+int analyze_file(const std::string& path, bool check_only, std::size_t top_n) {
+  const trace::TraceFile f = trace::read_file(path);
+  const std::vector<std::string> mismatches = trace::check(f);
+  if (!check_only) {
+    const trace::Analysis a = trace::analyze(f, top_n);
+    std::fputs(trace::report(f, a).c_str(), stdout);
+  }
+  if (!mismatches.empty()) {
+    std::fprintf(stderr, "%s: %zu mismatch(es) against embedded Stats:\n",
+                 path.c_str(), mismatches.size());
+    for (const std::string& m : mismatches) {
+      std::fprintf(stderr, "  %s\n", m.c_str());
+    }
+    return 1;
+  }
+  std::printf("%s: OK (%zu records reproduce core::Stats exactly)\n",
+              path.c_str(), f.records.size());
+  return 0;
+}
+
+int run_and_analyze(const harness::Cli& cli, bool check_only,
+                    std::size_t top_n) {
+  const std::string app_name = cli.get_or("app", "fft");
+  const std::string proto = cli.get_or("protocol", "hlrc");
+  const std::string scale_name = cli.get_or("scale", "tiny");
+  const std::string out = cli.get_or("out", "trace_analyze." + app_name + "-" +
+                                                proto + ".bin");
+
+  apps::Scale scale = apps::Scale::kTiny;
+  if (scale_name == "small") scale = apps::Scale::kSmall;
+  if (scale_name == "large") scale = apps::Scale::kLarge;
+
+  SimConfig cfg;
+  cfg.comm = CommParams::achievable();
+  if (proto == "aurc") {
+    cfg.comm.protocol = Protocol::kAURC;
+  } else if (proto != "hlrc") {
+    std::fprintf(stderr, "unknown --protocol '%s' (hlrc or aurc)\n",
+                 proto.c_str());
+    return 2;
+  }
+  cfg.trace.enabled = true;
+  cfg.trace.path = out;
+  if (auto cats = cli.get("trace-categories")) {
+    auto mask = trace::parse_mask(*cats);
+    if (!mask) {
+      std::fprintf(stderr, "unknown --trace-categories '%s'\n", cats->c_str());
+      return 2;
+    }
+    cfg.trace.mask = *mask;
+  }
+
+  std::unique_ptr<Workload> app = apps::make_app(app_name, scale);
+  const RunResult r = run(*app, cfg);
+  std::printf("ran %s/%s/%s: time=%llu events=%llu validated=%d\n",
+              app_name.c_str(), proto.c_str(), scale_name.c_str(),
+              static_cast<unsigned long long>(r.time),
+              static_cast<unsigned long long>(r.events), (int)r.validated);
+  if (!r.validated) {
+    std::fprintf(stderr, "trace_analyze: %s failed validation\n",
+                 app_name.c_str());
+    return 1;
+  }
+  return analyze_file(out, check_only, top_n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::Cli cli(argc, argv);
+  const bool check_only = cli.has("check");
+  const auto top_n = static_cast<std::size_t>(cli.get_int("top", 10));
+  try {
+    if (cli.has("run")) return run_and_analyze(cli, check_only, top_n);
+    // harness::Cli treats the token after a bare `--check` as its value, so
+    // `--check a.bin b.bin` swallows the first path; reclaim it.
+    std::vector<std::string> paths = cli.positional();
+    if (const auto v = cli.get("check"); v && *v != "1") {
+      paths.insert(paths.begin(), *v);
+    }
+    if (paths.empty()) {
+      std::fprintf(stderr,
+                   "usage: %s [--check] <trace.bin>\n"
+                   "       %s --run [--app=fft] [--protocol=hlrc|aurc] "
+                   "[--scale=tiny] [--out=file] [--check]\n",
+                   argv[0], argv[0]);
+      return 2;
+    }
+    int rc = 0;
+    for (const std::string& path : paths) {
+      rc |= analyze_file(path, check_only, top_n);
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_analyze: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,239 @@
+// Tracing-overhead measurement: how much the trace subsystem costs the
+// simulator hot path, in the three build/runtime configurations that matter
+// for ISSUE acceptance:
+//
+//   compiled_in_disabled  tracer compiled in (default build), --trace off
+//   enabled               tracer compiled in, recording every category
+//   compiled_out          built with -DSVMSIM_TRACE=OFF (no tracer code)
+//
+// One binary can only measure the configurations its own build supports: the
+// default build writes the first two subsections, an -DSVMSIM_TRACE=OFF build
+// writes "compiled_out". Each run preserves the other build's subsections in
+// the shared BENCH_sweep.json (see tools/trace_overhead.sh, which runs both
+// builds back to back), and whichever run sees both sides recomputes the
+// headline percentages:
+//
+//   disabled_vs_out_pct   cost of compiling the tracer in but leaving it off
+//                         (the acceptance bound: must stay <= 2%)
+//   enabled_vs_disabled_pct   cost of actually recording
+//
+//   ./trace_overhead [--app=fft] [--scale=tiny] [--reps=5]
+//                    [--out=BENCH_sweep.json]
+//
+// The measured runs are also a determinism spot-check: simulated time must
+// be identical across every rep and arm, traced or not, or we exit 1.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "apps/registry.hpp"
+#include "core/params.hpp"
+#include "core/runner.hpp"
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace svmsim;
+
+struct Arm {
+  double wall_seconds = 0.0;   ///< total over all reps
+  double best_rep_wall = 0.0;  ///< fastest single rep
+  std::uint64_t events = 0;    ///< total over all reps
+  std::uint64_t rep_events = 0;  ///< events of one rep (deterministic)
+  std::uint64_t sim_time = 0;
+
+  /// Peak rate (fastest rep). The mean is useless on a shared/throttled
+  /// machine — external load stalls whole reps — but the best rep of many
+  /// converges on the unthrottled speed for every arm alike, which is what
+  /// an overhead *ratio* needs.
+  [[nodiscard]] double events_per_sec() const {
+    return best_rep_wall > 0
+               ? static_cast<double>(rep_events) / best_rep_wall
+               : 0.0;
+  }
+
+  /// One measured repetition.
+  void add_rep(double wall, std::uint64_t ev) {
+    if (best_rep_wall == 0.0 || wall < best_rep_wall) best_rep_wall = wall;
+    wall_seconds += wall;
+    events += ev;
+    rep_events = ev;
+  }
+};
+
+/// One run of `app` with the given trace config, folded into `a`; checks
+/// the simulated end time never wavers.
+void run_rep(Arm& a, const std::string& app_name, apps::Scale scale,
+             bool traced, const std::string& trace_path) {
+  SimConfig cfg;
+  cfg.comm = CommParams::achievable();
+  cfg.trace.enabled = traced;
+  if (traced) cfg.trace.path = trace_path;
+  std::unique_ptr<Workload> app = apps::make_app(app_name, scale);
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunResult r = run(*app, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!r.validated) {
+    std::fprintf(stderr, "trace_overhead: %s failed validation\n",
+                 app_name.c_str());
+    std::exit(1);
+  }
+  if (a.sim_time != 0 && a.sim_time != r.time) {
+    std::fprintf(stderr,
+                 "trace_overhead: simulated time wavered (%llu vs %llu) -- "
+                 "tracing must not affect simulation\n",
+                 static_cast<unsigned long long>(a.sim_time),
+                 static_cast<unsigned long long>(r.time));
+    std::exit(1);
+  }
+  a.sim_time = r.time;
+  a.add_rep(std::chrono::duration<double>(t1 - t0).count(), r.events);
+}
+
+std::string arm_json(const Arm& a, int reps) {
+  std::ostringstream os;
+  os << "{\"wall_seconds\": " << a.wall_seconds << ", \"events\": " << a.events
+     << ", \"events_per_sec\": " << a.events_per_sec()
+     << ", \"sim_time\": " << a.sim_time << ", \"reps\": " << reps << "}";
+  return os.str();
+}
+
+/// events_per_sec out of a subsection written by arm_json (strtod after the
+/// key's colon; exact for our own flat output).
+std::optional<double> eps_of(const std::optional<std::string>& sub) {
+  if (!sub) return std::nullopt;
+  const std::size_t k = sub->find("\"events_per_sec\"");
+  if (k == std::string::npos) return std::nullopt;
+  const std::size_t colon = sub->find(':', k);
+  if (colon == std::string::npos) return std::nullopt;
+  return std::strtod(sub->c_str() + colon + 1, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::Cli cli(argc, argv);
+  const std::string app_name = cli.get_or("app", "fft");
+  const std::string scale_name = cli.get_or("scale", "tiny");
+  const int reps = static_cast<int>(cli.get_int("reps", 5));
+  const std::string out_path = cli.get_or("out", "BENCH_sweep.json");
+
+  apps::Scale scale = apps::Scale::kTiny;
+  if (scale_name == "small") scale = apps::Scale::kSmall;
+  if (scale_name == "large") scale = apps::Scale::kLarge;
+
+  // Subsections from a previous run of the *other* build (or this one; a
+  // re-run simply refreshes its own side).
+  std::optional<std::string> sub_out, sub_disabled, sub_enabled;
+  std::string text;
+  {
+    std::ifstream in(out_path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      text = ss.str();
+      if (auto sec = harness::json_object_section(text, "trace_overhead")) {
+        sub_out = harness::json_object_section(*sec, "compiled_out");
+        sub_disabled =
+            harness::json_object_section(*sec, "compiled_in_disabled");
+        sub_enabled = harness::json_object_section(*sec, "enabled");
+      }
+    }
+  }
+
+#ifdef SVMSIM_TRACE_DISABLED
+  std::printf("== trace_overhead (tracer compiled OUT): %s/%s x%d ==\n",
+              app_name.c_str(), scale_name.c_str(), reps);
+  Arm out_arm;
+  for (int i = 0; i < reps; ++i) run_rep(out_arm, app_name, scale, false, "");
+  if (eps_of(sub_out).value_or(0) < out_arm.events_per_sec()) {
+    sub_out = arm_json(out_arm, reps);
+  }
+#else
+  std::printf("== trace_overhead (tracer compiled in): %s/%s x%d ==\n",
+              app_name.c_str(), scale_name.c_str(), reps);
+  const std::string tmp_trace = out_path + ".overhead-trace.bin";
+  // Interleave the two arms rep-by-rep so external load perturbs both
+  // equally; the recorded rate is each arm's best rep.
+  Arm disabled_arm, enabled_arm;
+  for (int i = 0; i < reps; ++i) {
+    run_rep(disabled_arm, app_name, scale, false, "");
+    run_rep(enabled_arm, app_name, scale, true, tmp_trace);
+  }
+  if (disabled_arm.sim_time != enabled_arm.sim_time) {
+    std::fprintf(stderr,
+                 "trace_overhead: --trace changed simulated time "
+                 "(%llu vs %llu)\n",
+                 static_cast<unsigned long long>(disabled_arm.sim_time),
+                 static_cast<unsigned long long>(enabled_arm.sim_time));
+    return 1;
+  }
+  std::remove(tmp_trace.c_str());
+  // Keep the best measurement across invocations (tools/trace_overhead.sh
+  // alternates the two builds several times): on a shared machine a single
+  // invocation can land entirely inside a throttled window, and only the
+  // max over invocations of the per-rep peak is comparable across
+  // binaries. Delete the section from the JSON to reset.
+  if (eps_of(sub_disabled).value_or(0) < disabled_arm.events_per_sec()) {
+    sub_disabled = arm_json(disabled_arm, reps);
+  }
+  if (eps_of(sub_enabled).value_or(0) < enabled_arm.events_per_sec()) {
+    sub_enabled = arm_json(enabled_arm, reps);
+  }
+#endif
+
+  // Headline percentages, recomputed from whatever subsections exist now.
+  const auto eps_out = eps_of(sub_out);
+  const auto eps_dis = eps_of(sub_disabled);
+  const auto eps_en = eps_of(sub_enabled);
+  std::ostringstream section;
+  section << "\"trace_overhead\": {\n    \"app\": \"" << app_name
+          << "\",\n    \"scale\": \"" << scale_name << "\"";
+  harness::Table t({"configuration", "events/sec", "overhead"});
+  auto row = [&](const char* name, const std::optional<double>& eps,
+                 const std::optional<double>& base) {
+    if (!eps) return;
+    std::string over = "-";
+    if (base && *base > 0) over = harness::fmt(100.0 * (*base - *eps) / *base, 2) + "%";
+    t.add_row({name, harness::fmt(*eps, 0), over});
+  };
+  row("compiled_out", eps_out, std::nullopt);
+  row("compiled_in_disabled", eps_dis, eps_out);
+  row("enabled", eps_en, eps_dis);
+  if (sub_out) section << ",\n    \"compiled_out\": " << *sub_out;
+  if (sub_disabled) {
+    section << ",\n    \"compiled_in_disabled\": " << *sub_disabled;
+  }
+  if (sub_enabled) section << ",\n    \"enabled\": " << *sub_enabled;
+  if (eps_out && eps_dis && *eps_out > 0) {
+    section << ",\n    \"disabled_vs_out_pct\": "
+            << 100.0 * (*eps_out - *eps_dis) / *eps_out;
+  }
+  if (eps_dis && eps_en && *eps_dis > 0) {
+    section << ",\n    \"enabled_vs_disabled_pct\": "
+            << 100.0 * (*eps_dis - *eps_en) / *eps_dis;
+  }
+  section << "\n  }";
+  t.print();
+
+  // Merge into the shared BENCH JSON like the other tools do.
+  text = harness::strip_json_section(text, "trace_overhead");
+  const std::size_t close = text.find_last_of('}');
+  if (close == std::string::npos) {
+    text = "{\n  \"bench\": \"sweep\",\n  \"schema\": 2,\n  \"build\": \"" +
+           trace::build_provenance() + "\",\n  " + section.str() + "\n}\n";
+  } else {
+    text = text.substr(0, close) + ",\n  " + section.str() + "\n}\n";
+  }
+  harness::write_file_atomic(out_path, text);
+  std::printf("(merged into %s)\n", out_path.c_str());
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "engine/task.hpp"
+#include "trace/trace.hpp"
 
 namespace svmsim {
 
@@ -16,6 +17,13 @@ Machine::Machine(const SimConfig& cfg)
     throw std::invalid_argument(
         "total_procs must be a multiple of procs_per_node");
   }
+#ifndef SVMSIM_TRACE_DISABLED
+  if (cfg_.trace.enabled) {
+    tracer_ = std::make_unique<trace::Tracer>(
+        cfg_.trace, cfg_.comm.total_procs, cfg_.comm.node_count());
+    sim_.set_tracer(tracer_.get());
+  }
+#endif
   const int nodes = cfg_.comm.node_count();
   nodes_.reserve(static_cast<std::size_t>(nodes));
   agents_.reserve(static_cast<std::size_t>(nodes));

@@ -14,6 +14,10 @@
 #include "svm/aurc.hpp"
 #include "svm/hlrc.hpp"
 
+namespace svmsim::trace {
+class Tracer;
+}  // namespace svmsim::trace
+
 namespace svmsim {
 
 class Machine {
@@ -32,6 +36,10 @@ class Machine {
   [[nodiscard]] Stats& stats() noexcept { return stats_; }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] svm::AddressSpace& space() noexcept { return space_; }
+
+  /// The run's event recorder, or nullptr when cfg.trace is disabled (or
+  /// tracing is compiled out). Also reachable as sim().tracer().
+  [[nodiscard]] trace::Tracer* tracer() noexcept { return tracer_.get(); }
 
   [[nodiscard]] int total_procs() const noexcept {
     return cfg_.comm.total_procs;
@@ -68,6 +76,7 @@ class Machine {
  private:
   SimConfig cfg_;
   engine::Simulator sim_;
+  std::unique_ptr<trace::Tracer> tracer_;
   Stats stats_;
   svm::AddressSpace space_;
   svm::SharedState shared_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace svmsim {
 
 Node::Node(engine::Simulator& sim, const SimConfig& cfg, NodeId id, int procs,
@@ -52,12 +54,19 @@ void Node::wire(svm::SvmAgent& agent) {
               (sim_->now() / interval + 1) * interval;
           sim_->queue().schedule_at(
               next_tick, [this, body = std::move(body)]() mutable {
-                pick_interrupt_victim().service_polled(std::move(body));
+                Processor& victim = pick_interrupt_victim();
+                SVMSIM_TRACE_EVENT(*sim_, trace::Category::kIrq,
+                                   trace::Event::kPollDeliver, victim.id(),
+                                   id_, 0, 0);
+                victim.service_polled(std::move(body));
               });
           return;
         }
         ++counters_->interrupts;
-        pick_interrupt_victim().service_interrupt(std::move(body));
+        Processor& victim = pick_interrupt_victim();
+        SVMSIM_TRACE_EVENT(*sim_, trace::Category::kIrq,
+                           trace::Event::kIrqIssue, victim.id(), id_, 0, 0);
+        victim.service_interrupt(std::move(body));
       };
   agent.invalidate_caches = [this](std::uint64_t addr, std::uint64_t len) {
     invalidate_caches(addr, len);

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "engine/types.hpp"
+#include "trace/config.hpp"
 
 namespace svmsim {
 
@@ -148,6 +149,10 @@ struct SimConfig {
   /// Diagnostics/ablation switches used by the paper's guided simulations
   /// (§6): pretend every page fetch is local, i.e. remote fetches are free.
   bool disable_remote_fetches = false;
+
+  /// Event-recorder settings (src/trace/). Never affects simulated time:
+  /// results are byte-identical with tracing on or off.
+  trace::Config trace;
 };
 
 }  // namespace svmsim

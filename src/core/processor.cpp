@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace svmsim {
 
 Processor::Processor(engine::Simulator& sim, const SimConfig& cfg,
@@ -20,10 +22,37 @@ engine::Task<void> Processor::drain() {
   while (pending_ > 0 || steal_ > 0) {
     const Cycles p = std::exchange(pending_, 0);
     const Cycles s = std::exchange(steal_, 0);
-    if (s > 0) bd_->add(TimeCat::kHandler, s);
+    if (s > 0) {
+      bd_->add(TimeCat::kHandler, s);
+      trace_time(TimeCat::kHandler, s);
+    }
     co_await sim_->delay(p + s);
     // More handler time may have been stolen while we advanced; loop.
   }
+  flush_trace_spans();
+}
+
+void Processor::mark_finished(Cycles t) {
+  finished_at_ = t;
+  flush_trace_spans();
+}
+
+void Processor::flush_trace_spans() {
+#ifndef SVMSIM_TRACE_DISABLED
+  trace::Tracer* t = sim_->tracer();
+  if (t == nullptr) return;
+  if (!t->wants(trace::Category::kSched)) {
+    trace_acc_.fill(0);
+    return;
+  }
+  const Cycles now = sim_->now();
+  for (std::size_t i = 0; i < trace_acc_.size(); ++i) {
+    if (trace_acc_[i] == 0) continue;
+    t->emit(now, trace::Category::kSched, trace::Event::kTimeSpan, id_, node_,
+            trace_acc_[i], static_cast<std::uint64_t>(i));
+    trace_acc_[i] = 0;
+  }
+#endif
 }
 
 engine::Task<Cycles> Processor::wait_begin() {
@@ -34,6 +63,7 @@ engine::Task<Cycles> Processor::wait_begin() {
 void Processor::wait_end(TimeCat cat, Cycles t0) {
   const Cycles waited = sim_->now() - t0;
   bd_->add(cat, waited);
+  trace_time(cat, waited);
   // Handler work that ran while the application was blocked anyway did not
   // slow the application down; forgive that much of the pending steal.
   steal_ = steal_ > waited ? steal_ - waited : 0;
@@ -46,7 +76,10 @@ engine::Task<void> Processor::interrupt_body(
   // handler dispatch and the handler itself.
   co_await sim_->delay(entry_cost + cfg_->arch.handler_dispatch_cycles);
   co_await body();
-  steal_ += sim_->now() - t0;
+  const Cycles dur = sim_->now() - t0;
+  steal_ += dur;
+  SVMSIM_TRACE_EVENT(*sim_, trace::Category::kIrq, trace::Event::kHandlerSpan,
+                     id_, node_, dur, entry_cost);
 }
 
 void Processor::service_interrupt(std::function<engine::Task<void>()> body) {

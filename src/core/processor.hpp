@@ -12,6 +12,7 @@
 // barrier services interrupts for free).
 #pragma once
 
+#include <array>
 #include <functional>
 
 #include "core/params.hpp"
@@ -49,10 +50,14 @@ class Processor {
   void charge(TimeCat cat, Cycles c) {
     bd_->add(cat, c);
     pending_ += c;
+    trace_time(cat, c);
   }
 
   /// Account cycles that already elapsed on the global clock (slow paths).
-  void note(TimeCat cat, Cycles c) { bd_->add(cat, c); }
+  void note(TimeCat cat, Cycles c) {
+    bd_->add(cat, c);
+    trace_time(cat, c);
+  }
 
   /// Synchronize local time with the global clock, absorbing any handler
   /// time stolen by interrupts in the meantime.
@@ -76,11 +81,29 @@ class Processor {
 
   /// Total simulated time at which this processor finished its program.
   [[nodiscard]] Cycles finished_at() const noexcept { return finished_at_; }
-  void mark_finished(Cycles t) noexcept { finished_at_ = t; }
+  void mark_finished(Cycles t);
 
  private:
   engine::Task<void> interrupt_body(std::function<engine::Task<void>()> body,
                                     Cycles entry_cost);
+
+  /// Tracing mirror of the Breakdown: every bucket increment accumulates
+  /// here too (only while a tracer is attached) and is flushed as one
+  /// kTimeSpan record per category at drain()/mark_finished(), so the
+  /// per-processor per-category sums over a trace equal the Breakdown
+  /// exactly. Two extra instructions on the hot charge() path when tracing
+  /// is compiled in but off; nothing when compiled out.
+  void trace_time(TimeCat cat, Cycles c) noexcept {
+#ifndef SVMSIM_TRACE_DISABLED
+    if (sim_->tracer() != nullptr) {
+      trace_acc_[static_cast<std::size_t>(cat)] += c;
+    }
+#else
+    (void)cat;
+    (void)c;
+#endif
+  }
+  void flush_trace_spans();
 
   engine::Simulator* sim_;
   const SimConfig* cfg_;
@@ -94,6 +117,7 @@ class Processor {
   Cycles steal_ = 0;    ///< handler time to inject at the next drain
   engine::Resource handler_cpu_;  ///< serializes handlers on this processor
   Cycles finished_at_ = 0;
+  std::array<Cycles, kTimeCats> trace_acc_{};  ///< unflushed span cycles
 };
 
 }  // namespace svmsim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace svmsim {
 
 namespace {
@@ -56,6 +58,11 @@ RunResult run(Workload& w, const SimConfig& cfg, Cycles max_cycles) {
     r.time = std::max(r.time, m.proc(pid).finished_at());
   }
   r.validated = w.validate(m);
+#ifndef SVMSIM_TRACE_DISABLED
+  // Publish the trace (if one was recorded to a file): the run's final
+  // Stats are embedded so the trace is self-checkable (trace::check).
+  if (trace::Tracer* t = m.tracer()) t->finish(r.stats, r.time);
+#endif
   return r;
 }
 
@@ -63,6 +70,9 @@ SimConfig uniprocessor_config(const SimConfig& cfg) {
   SimConfig uni = cfg;
   uni.comm.total_procs = 1;
   uni.comm.procs_per_node = 1;
+  // Baseline runs are never traced: the interesting run is the parallel
+  // one, and a shared trace path must not be overwritten by the baseline.
+  uni.trace = trace::Config{};
   return uni;
 }
 

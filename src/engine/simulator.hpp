@@ -13,12 +13,22 @@
 #include "engine/task.hpp"
 #include "engine/types.hpp"
 
+namespace svmsim::trace {
+class Tracer;
+}  // namespace svmsim::trace
+
 namespace svmsim::engine {
 
 class Simulator {
  public:
   [[nodiscard]] Cycles now() const noexcept { return queue_.now(); }
   [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+
+  /// The run's event recorder, or nullptr when tracing is off (the common
+  /// case). Owned by the Machine; every layer reaches it through its sim_
+  /// pointer (see src/trace/trace.hpp and the SVMSIM_TRACE_EVENT macro).
+  [[nodiscard]] trace::Tracer* tracer() const noexcept { return tracer_; }
+  void set_tracer(trace::Tracer* t) noexcept { tracer_ = t; }
 
   /// Awaitable that suspends the coroutine for `d` cycles. d == 0 still goes
   /// through the event queue, i.e. it yields to any already-scheduled event
@@ -45,6 +55,7 @@ class Simulator {
 
  private:
   EventQueue queue_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 /// One-shot broadcast event: waiters suspend until fire() is called; waits

@@ -5,6 +5,9 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
+
+#include "trace/trace.hpp"
 
 namespace svmsim::harness {
 
@@ -45,7 +48,8 @@ std::string Table::to_string() const {
 void Table::print() const { std::cout << to_string() << std::flush; }
 
 void Table::write_csv(const std::string& path) const {
-  std::ofstream out(path);
+  std::ostringstream out;
+  out << "# build: " << trace::build_provenance() << '\n';
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) out << ',';
@@ -60,6 +64,7 @@ void Table::write_csv(const std::string& path) const {
   };
   emit(header_);
   for (const auto& row : rows_) emit(row);
+  write_file_atomic(path, out.str());
 }
 
 std::string fmt(double v, int precision) {
@@ -72,6 +77,53 @@ void maybe_write_csv(const Table& table, const std::string& csv_dir,
                      const std::string& name) {
   if (csv_dir.empty()) return;
   table.write_csv(csv_dir + "/" + name + ".csv");
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + tmp);
+    out << content;
+    if (!out) throw std::runtime_error("write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("rename to " + path + " failed");
+  }
+}
+
+std::optional<std::string> json_object_section(const std::string& text,
+                                               const std::string& key) {
+  const std::size_t k = text.find("\"" + key + "\"");
+  if (k == std::string::npos) return std::nullopt;
+  const std::size_t start = text.find('{', k);
+  if (start == std::string::npos) return std::nullopt;
+  int depth = 0;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) {
+      return text.substr(start, i + 1 - start);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string strip_json_section(std::string text, const std::string& key) {
+  const std::size_t k = text.find("\"" + key + "\"");
+  if (k == std::string::npos) return text;
+  std::size_t begin = text.find_last_of(',', k);
+  if (begin == std::string::npos) begin = k;
+  std::size_t i = text.find('{', k);
+  if (i == std::string::npos) return text;
+  int depth = 0;
+  for (; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) break;
+  }
+  std::size_t end = i + 1;
+  if (begin == k && end < text.size() && text[end] == ',') ++end;  // leading
+  text.erase(begin, end - begin);
+  return text;
 }
 
 }  // namespace svmsim::harness

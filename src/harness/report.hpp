@@ -2,6 +2,7 @@
 // paper's tables and figures report.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,7 +16,9 @@ class Table {
   void add_row(std::vector<std::string> row);
   /// Render to stdout.
   void print() const;
-  /// Write as CSV to `path` (parent directory must exist).
+  /// Write as CSV to `path` (parent directory must exist). The first line
+  /// is a `# build: ...` provenance comment (git revision, scheduler
+  /// backend, sanitize/trace gates); data rows start at line 2.
   void write_csv(const std::string& path) const;
 
   [[nodiscard]] std::string to_string() const;
@@ -30,5 +33,22 @@ class Table {
 /// If `csv_dir` is non-empty, write `table` to `<csv_dir>/<name>.csv`.
 void maybe_write_csv(const Table& table, const std::string& csv_dir,
                      const std::string& name);
+
+/// Write `content` to `path` via a sibling temp file and an atomic rename,
+/// so readers (and a crashed writer) never observe a half-written file.
+/// Throws std::runtime_error on I/O failure.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Extract `"key": {...}` verbatim from a flat JSON object using a
+/// brace-depth scan. Exact for the JSON the bench tools themselves write
+/// (no braces inside strings); used to carry sections of the shared
+/// BENCH_sweep.json across rewrites by different tools.
+[[nodiscard]] std::optional<std::string> json_object_section(
+    const std::string& text, const std::string& key);
+
+/// Remove `"key": {...}` (plus the separating comma) from a flat JSON
+/// object; returns the input unchanged when the key is absent.
+[[nodiscard]] std::string strip_json_section(std::string text,
+                                             const std::string& key);
 
 }  // namespace svmsim::harness

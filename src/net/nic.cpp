@@ -3,7 +3,18 @@
 #include <cassert>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace svmsim::net {
+
+namespace {
+
+/// Shorthand: NI-context event (no acting processor => proc = -1).
+#define SVMSIM_NIC_EVENT(ev, a0, a1)                                        \
+  SVMSIM_TRACE_EVENT(*sim_, trace::Category::kNet, trace::Event::ev, -1,    \
+                     self_, (a0), (a1))
+
+}  // namespace
 
 Nic::Nic(engine::Simulator& sim, const ArchParams& arch,
          const CommParams& comm, NodeId self, int index,
@@ -31,14 +42,20 @@ engine::Task<void> Nic::post(Message m) {
     // Send queue full: the NI interrupts the main processor and delays it
     // until the queue drains; we model the delay by blocking the poster.
     ++counters_->ni_queue_overflows;
+    SVMSIM_NIC_EVENT(kNiOverflow, 0, send_q_bytes_);
     send_space_.reset();
     co_await send_space_.wait();
   }
   if (m.type == MsgType::kUpdate) {
     ++counters_->updates_sent;
     counters_->update_bytes += m.payload_bytes;
+    SVMSIM_NIC_EVENT(kUpdateSend, m.page, m.payload_bytes);
   } else {
     ++counters_->messages_sent;
+    SVMSIM_NIC_EVENT(kMsgSend,
+                     (static_cast<std::uint64_t>(m.type) << 32) |
+                         static_cast<std::uint32_t>(m.dst),
+                     wire);
   }
   send_q_bytes_ += wire;
   send_q_.push_back(std::move(m));
@@ -62,12 +79,17 @@ engine::Task<void> Nic::tx_loop() {
       const std::uint64_t pkt_bytes = chunk + arch_->packet_header_bytes;
 
       // NI firmware prepares the packet, then DMAs it out of host memory.
+      const Cycles ni_t0 = sim_->now();
       co_await ni_tx_.serve(comm_->ni_occupancy);
+      SVMSIM_NIC_EVENT(kNiTx, pkt_bytes, sim_->now() - ni_t0);
       co_await iobus_.dma(pkt_bytes);
+      SVMSIM_NIC_EVENT(kIoBus, pkt_bytes, 0);
       co_await membus_->transaction(memsys::BusMaster::kNIOut, pkt_bytes);
 
       ++counters_->packets_sent;
       counters_->bytes_sent += pkt_bytes;
+      SVMSIM_NIC_EVENT(kPacketTx, static_cast<std::uint64_t>(msg->dst),
+                       pkt_bytes);
 
       Packet p;
       p.src = self_;
@@ -86,7 +108,10 @@ engine::Task<void> Nic::tx_loop() {
 
 void Nic::packet_arrived(Packet p) {
   recv_q_bytes_ += p.bytes;
-  if (recv_q_bytes_ > arch_->ni_queue_bytes) ++counters_->ni_queue_overflows;
+  if (recv_q_bytes_ > arch_->ni_queue_bytes) {
+    ++counters_->ni_queue_overflows;
+    SVMSIM_NIC_EVENT(kNiOverflow, 1, recv_q_bytes_);
+  }
   recv_q_.push_back(std::move(p));
   recv_items_.release();
 }
@@ -99,8 +124,11 @@ engine::Task<void> Nic::rx_loop() {
     recv_q_.pop_front();
 
     // Receive-side packet processing and DMA into host memory.
+    const Cycles ni_t0 = sim_->now();
     co_await ni_rx_.serve(comm_->ni_occupancy);
+    SVMSIM_NIC_EVENT(kNiRx, p.bytes, sim_->now() - ni_t0);
     co_await iobus_.dma(p.bytes);
+    SVMSIM_NIC_EVENT(kIoBus, p.bytes, 1);
     co_await membus_->transaction(memsys::BusMaster::kNIIn, p.bytes);
     recv_q_bytes_ -= p.bytes;
 
@@ -108,6 +136,10 @@ engine::Task<void> Nic::rx_loop() {
     if (p.msg->type == MsgType::kUpdate) {
       if (on_update) on_update(*p.msg);
     } else if (on_message) {
+      SVMSIM_NIC_EVENT(kMsgDeliver,
+                       (static_cast<std::uint64_t>(p.msg->type) << 32) |
+                           static_cast<std::uint32_t>(p.msg->src),
+                       wire_bytes(*p.msg));
       on_message(std::move(*p.msg));
     }
     // p.msg dropped here: the pooled slot recycles for the next message.

@@ -7,50 +7,59 @@
 #include <cstring>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace svmsim::svm {
 
 namespace {
 
-/// Protocol event tracing for debugging: set SVMSIM_TRACE=<page-id> to log
-/// every protocol action touching that page.
-long trace_page() {
+/// Ad-hoc stderr debugging (distinct from the src/trace/ recorder): set
+/// SVMSIM_DBG_PAGE=<page-id> to log every protocol action touching that page.
+long dbg_page() {
   static const long page = [] {
-    const char* env = std::getenv("SVMSIM_TRACE");
+    const char* env = std::getenv("SVMSIM_DBG_PAGE");
     return env ? std::atol(env) : -1;
   }();
   return page;
 }
 
-bool trace_flush() {
-  static const bool on = std::getenv("SVMSIM_TRACE_FLUSH") != nullptr;
+bool dbg_flush() {
+  static const bool on = std::getenv("SVMSIM_DBG_FLUSH") != nullptr;
   return on;
 }
 
-long trace_lock() {
+long dbg_lock() {
   static const long lock = [] {
-    const char* env = std::getenv("SVMSIM_TRACE_LOCK");
+    const char* env = std::getenv("SVMSIM_DBG_LOCK");
     return env ? std::atol(env) : -1;
   }();
   return lock;
 }
 
-#define SVMSIM_TRACE_LK(lock, fmt, ...)                                      \
+#define SVMSIM_DBG_LK(lock, fmt, ...)                                        \
   do {                                                                       \
-    if (static_cast<long>(lock) == trace_lock()) {                           \
+    if (static_cast<long>(lock) == dbg_lock()) {                             \
       std::fprintf(stderr, "[t=%8llu node=%d lk=%d] " fmt "\n",             \
                    static_cast<unsigned long long>(sim_->now()), self_,      \
                    static_cast<int>(lock), ##__VA_ARGS__);                   \
     }                                                                        \
   } while (0)
 
-#define SVMSIM_TRACE_EVT(page, fmt, ...)                                     \
+#define SVMSIM_DBG_EVT(page, fmt, ...)                                       \
   do {                                                                       \
-    if (static_cast<long>(page) == trace_page()) {                           \
+    if (static_cast<long>(page) == dbg_page()) {                             \
       std::fprintf(stderr, "[t=%8llu node=%d pg=%llu] " fmt "\n",            \
                    static_cast<unsigned long long>(sim_->now()), self_,      \
                    static_cast<unsigned long long>(page), ##__VA_ARGS__);    \
     }                                                                        \
   } while (0)
+
+/// Shorthand: protocol-agent event on the trace recorder (no-op when tracing
+/// is compiled out or the run is untraced). `proc` is the acting processor's
+/// global id, or -1 for handler/agent context.
+#define SVMSIM_AGENT_EVENT(cat, ev, proc, a0, a1)                            \
+  SVMSIM_TRACE_EVENT(*sim_, trace::Category::cat, trace::Event::ev, (proc),  \
+                     self_, (a0), (a1))
 
 using engine::Task;
 
@@ -160,6 +169,7 @@ Task<PageCopy*> SvmAgent::ensure_valid(Processor& p, PageId page,
       } else {
         ++counters_->read_faults;
       }
+      SVMSIM_AGENT_EVENT(kPage, kPageFault, p.id(), page, for_write ? 1 : 0);
       p.charge(TimeCat::kProtocol,
                cfg_->arch.fault_trap_cycles + cfg_->arch.tlb_access_cycles);
     }
@@ -195,6 +205,7 @@ Task<PageCopy*> SvmAgent::writable(Processor& p, PageId page) {
     // Pure write-protection fault on a valid page (write detection).
     ++counters_->page_faults;
     ++counters_->write_faults;
+    SVMSIM_AGENT_EVENT(kPage, kPageFault, p.id(), page, 1);
     p.charge(TimeCat::kProtocol,
              cfg_->arch.fault_trap_cycles + cfg_->arch.tlb_access_cycles);
   }
@@ -208,6 +219,7 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
   ++counters_->page_fetches;
   const NodeId h = home_of(page);
   const std::uint32_t pb = space_->page_bytes();
+  SVMSIM_AGENT_EVENT(kPage, kPageFetch, p.id(), page, h);
 
   if (cfg_->disable_remote_fetches) {
     // Guided simulation (paper §6): pretend the fetch is free/local.
@@ -215,10 +227,11 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
     std::memcpy(c.data.data(), home.data(), pb);
     if (invalidate_caches) invalidate_caches(page * pb, pb);
     c.state = PageState::kReadOnly;
+    SVMSIM_AGENT_EVENT(kPage, kPageInstall, p.id(), page, 1);
     co_return;
   }
 
-  SVMSIM_TRACE_EVT(page, "fetch issued (gen=%u)", c.inval_gen);
+  SVMSIM_DBG_EVT(page, "fetch issued (gen=%u)", c.inval_gen);
   c.fetching = true;
   assert(fetch_slot(page) == nullptr && "duplicate fetch for a page");
   fetch_slot(page) = shared_->pools.triggers.acquire();
@@ -240,11 +253,12 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
   const std::vector<std::byte>& data = bytes_body(rep.body);
   assert(data.size() == pb);
   std::memcpy(c.data.data(), data.data(), pb);
-  SVMSIM_TRACE_EVT(page, "fetch installed (gen %u -> %u) word0=%d",
+  SVMSIM_DBG_EVT(page, "fetch installed (gen %u -> %u) word0=%d",
                    gen_at_start, c.inval_gen,
                    *reinterpret_cast<const int*>(c.data.data()));
   p.charge(TimeCat::kProtocol, install_cycles(cfg_->arch, pb));
   if (invalidate_caches) invalidate_caches(page * pb, pb);
+  SVMSIM_AGENT_EVENT(kPage, kPageInstall, p.id(), page, 0);
 
   // If a write notice invalidated this page while the fetch was in flight,
   // the copy may already be stale: leave it invalid and let the access
@@ -260,7 +274,7 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
 
 void SvmAgent::begin_page_flush(PageId page) {
   PageCopy& c = space_->copy(self_, page);
-  if (trace_flush()) {
+  if (dbg_flush()) {
     std::fprintf(stderr, "[n=%d] begin_page_flush pg=%llu (was %d)\n", self_,
                  (unsigned long long)page, (int)c.flushing);
   }
@@ -271,7 +285,7 @@ void SvmAgent::begin_page_flush(PageId page) {
 }
 
 void SvmAgent::end_page_flush(PageId page) {
-  if (trace_flush()) {
+  if (dbg_flush()) {
     std::fprintf(stderr, "[n=%d] end_page_flush pg=%llu\n", self_,
                  (unsigned long long)page);
   }
@@ -285,7 +299,7 @@ void SvmAgent::end_page_flush(PageId page) {
 
 engine::Task<void> SvmAgent::wait_page_flush(Processor& p, PageId page) {
   while (space_->copy(self_, page).flushing) {
-    if (trace_flush()) {
+    if (dbg_flush()) {
       std::fprintf(stderr, "[t=%llu n=%d p=%d] wait_page_flush pg=%llu\n",
                    (unsigned long long)sim_->now(), self_, p.id(),
                    (unsigned long long)page);
@@ -377,7 +391,7 @@ Task<void> SvmAgent::flush(Processor& p) {
   // is recorded. Without this wait, a lock token could leave the node ahead
   // of the data it protects.
   while (node_flushing_) {
-    if (trace_flush()) {
+    if (dbg_flush()) {
       std::fprintf(stderr, "[t=%llu n=%d p=%d] flush: wait node_flushing\n",
                    (unsigned long long)sim_->now(), self_, p.id());
     }
@@ -389,7 +403,7 @@ Task<void> SvmAgent::flush(Processor& p) {
   }
   if (interval_pages_.empty()) co_return;
 
-  if (trace_flush()) {
+  if (dbg_flush()) {
     std::fprintf(stderr, "[t=%llu n=%d p=%d] flush: start (%zu pages)\n",
                  (unsigned long long)sim_->now(), self_, p.id(),
                  interval_pages_.size());
@@ -408,7 +422,7 @@ Task<void> SvmAgent::flush(Processor& p) {
   const std::uint32_t idx = vc_.advance(self_);
   shared_->dir.record_interval(self_, idx, interval_scratch_);
 
-  if (trace_flush()) {
+  if (dbg_flush()) {
     std::fprintf(stderr, "[t=%llu n=%d p=%d] flush: done\n",
                  (unsigned long long)sim_->now(), self_, p.id());
   }
@@ -426,6 +440,9 @@ Task<void> SvmAgent::apply_invalidations(Processor& p, const VClock& target) {
         if (writer != self_) pages.push_back(page);
       });
   counters_->write_notices += notices;
+  if (notices > 0) {
+    SVMSIM_AGENT_EVENT(kPage, kWriteNotices, p.id(), notices, 0);
+  }
   p.charge(TimeCat::kProtocol, notices * cfg_->arch.write_notice_cycles);
 
   // Deduplicate (a page can appear in many intervals); sorting also makes
@@ -452,12 +469,13 @@ Task<void> SvmAgent::apply_invalidations(Processor& p, const VClock& target) {
       // repeat until the page stays clean.
       co_await flush_page_for_invalidation(p, page, c);
     }
-    SVMSIM_TRACE_EVT(page, "invalidated (state was %d)",
+    SVMSIM_DBG_EVT(page, "invalidated (state was %d)",
                      static_cast<int>(c.state));
     c.state = PageState::kInvalid;
     c.twin.reset();
     c.au_active = false;
     ++counters_->invalidations;
+    SVMSIM_AGENT_EVENT(kPage, kPageInval, p.id(), page, 0);
     p.charge(TimeCat::kProtocol, cfg_->arch.tlb_access_cycles);
     if (invalidate_caches) invalidate_caches(page * pb, pb);
   }
@@ -498,7 +516,8 @@ Task<void> SvmAgent::acquire_lock(Processor& p, int lock) {
         // Node holds the free token: hardware lock, no messages.
         lp.held = true;
         ++counters_->local_lock_acquires;
-        SVMSIM_TRACE_LK(lock, "local acquire");
+        SVMSIM_AGENT_EVENT(kLock, kLockLocal, p.id(), lock, 0);
+        SVMSIM_DBG_LK(lock, "local acquire");
         co_return;
       }
       if (lp.token && lp.recall_pending) {
@@ -511,6 +530,8 @@ Task<void> SvmAgent::acquire_lock(Processor& p, int lock) {
       // Fetch the token from the lock's home.
       lp.remote_pending = true;
       ++counters_->remote_lock_acquires;
+      SVMSIM_AGENT_EVENT(kLock, kLockRequest, p.id(), lock,
+                         shared_->locks.home_of(lock));
       net::Message m;
       m.type = net::MsgType::kLockAcquire;
       m.dst = shared_->locks.home_of(lock);
@@ -527,7 +548,7 @@ Task<void> SvmAgent::acquire_lock(Processor& p, int lock) {
       lp.remote_pending = false;
       lp.token = true;
       lp.held = true;
-      SVMSIM_TRACE_LK(lock, "remote acquire granted");
+      SVMSIM_DBG_LK(lock, "remote acquire granted");
       co_await apply_invalidations(p, vclock_body(grant.body));
       co_return;
     }
@@ -546,7 +567,7 @@ Task<void> SvmAgent::release_lock(Processor& p, int lock) {
   co_await flush(p);
 
   LockProxy& lp = proxy(lock);
-  SVMSIM_TRACE_LK(lock, "release (recall_pending=%d waiters=%zu)",
+  SVMSIM_DBG_LK(lock, "release (recall_pending=%d waiters=%zu)",
                   (int)lp.recall_pending, lp.waiters.size());
   assert(lp.held && "release of a lock this node does not hold");
   shared_->locks.state(lock).vc = vc_;
@@ -563,6 +584,8 @@ Task<void> SvmAgent::release_lock(Processor& p, int lock) {
 
 Task<void> SvmAgent::send_token_return(int lock, Processor* p) {
   const NodeId home = shared_->locks.home_of(lock);
+  SVMSIM_AGENT_EVENT(kLock, kTokenReturn, p != nullptr ? p->id() : -1, lock,
+                     home);
   if (p != nullptr) {
     charge_send(*p);
     co_await p->drain();
@@ -591,6 +614,7 @@ Task<void> SvmAgent::send_token_return(int lock, Processor* p) {
 
 Task<void> SvmAgent::barrier(Processor& p) {
   ++counters_->barriers;
+  SVMSIM_AGENT_EVENT(kLock, kBarrierEnter, p.id(), barrier_arrived_, 0);
   p.charge(TimeCat::kProtocol, cfg_->arch.smp_barrier_cycles);
 
   if (++barrier_arrived_ < procs_on_node_) {
@@ -600,6 +624,7 @@ Task<void> SvmAgent::barrier(Processor& p) {
     const Cycles t0 = co_await p.wait_begin();
     co_await ep.wait();
     p.wait_end(TimeCat::kBarrierWait, t0);
+    SVMSIM_AGENT_EVENT(kLock, kBarrierExit, p.id(), 0, 0);
     co_return;
   }
 
@@ -654,6 +679,7 @@ Task<void> SvmAgent::barrier(Processor& p) {
   }
 
   // Release the node's processors into the next episode.
+  SVMSIM_AGENT_EVENT(kLock, kBarrierExit, p.id(), 1, 0);
   barrier_done_.complete();
 }
 
@@ -705,7 +731,7 @@ Task<void> SvmAgent::handle_page_request(net::Message m) {
   auto home = space_->home_data(m.page);
   BytesRef data = shared_->pools.bytes();
   data->bytes.assign(home.begin(), home.end());
-  SVMSIM_TRACE_EVT(m.page, "page reply snapshot for node %d word0=%d", m.src,
+  SVMSIM_DBG_EVT(m.page, "page reply snapshot for node %d word0=%d", m.src,
                    *reinterpret_cast<const int*>(data->bytes.data()));
   co_await sim_->delay(cfg_->comm.host_overhead);
   net::Message rep;
@@ -722,7 +748,8 @@ Task<void> SvmAgent::handle_diff_batch(net::Message m) {
   Cycles cost = 0;
   for (const PageDiff& d : batch.view()) {
     apply_diff(space_->home_data(d.page), d);
-    SVMSIM_TRACE_EVT(d.page, "diff applied at home from node %d (%llu bytes)",
+    SVMSIM_AGENT_EVENT(kPage, kDiffApply, -1, d.page, d.modified_bytes());
+    SVMSIM_DBG_EVT(d.page, "diff applied at home from node %d (%llu bytes)",
                      m.src, static_cast<unsigned long long>(d.modified_bytes()));
     cost += cfg_->arch.tlb_access_cycles + diff_apply_cycles(cfg_->arch, d);
     if (invalidate_caches) invalidate_caches(d.page * pb, pb);
@@ -736,7 +763,8 @@ Task<void> SvmAgent::handle_diff_batch(net::Message m) {
 
 Task<void> SvmAgent::grant_lock(net::Message req) {
   LockHomeState& s = shared_->locks.state(req.lock_id);
-  SVMSIM_TRACE_LK(req.lock_id, "grant to node %d (waiters=%zu)", req.src,
+  SVMSIM_AGENT_EVENT(kLock, kLockGrant, -1, req.lock_id, req.src);
+  SVMSIM_DBG_LK(req.lock_id, "grant to node %d (waiters=%zu)", req.src,
                   s.waiters.size());
   s.owner = req.src;
   s.recall_sent = false;
@@ -771,7 +799,7 @@ Task<void> SvmAgent::handle_lock_acquire(net::Message m) {
   LockHomeState& s = shared_->locks.ensure_owner(lock);
   if (s.owner == self_) {
     LockProxy& lp = proxy(lock);
-    SVMSIM_TRACE_LK(lock, "acquire request from node %d (owner=self)", m.src);
+    SVMSIM_DBG_LK(lock, "acquire request from node %d (owner=self)", m.src);
     if (lp.token && !lp.held && !lp.remote_pending && lp.waiters.empty() &&
         !lp.recall_pending) {
       lp.token = false;
@@ -784,7 +812,7 @@ Task<void> SvmAgent::handle_lock_acquire(net::Message m) {
     s.waiters.push_back(std::move(m));
     co_return;
   }
-  SVMSIM_TRACE_LK(lock, "acquire request from node %d queued (owner=%d)",
+  SVMSIM_DBG_LK(lock, "acquire request from node %d queued (owner=%d)",
                   m.src, s.owner);
   s.waiters.push_back(std::move(m));
   if (!s.recall_sent) {
@@ -801,7 +829,8 @@ Task<void> SvmAgent::handle_lock_acquire(net::Message m) {
 
 Task<void> SvmAgent::handle_lock_recall(net::Message m) {
   LockProxy& lp = proxy(m.lock_id);
-  SVMSIM_TRACE_LK(m.lock_id, "recall received (held=%d token=%d)",
+  SVMSIM_AGENT_EVENT(kLock, kLockRecall, -1, m.lock_id, m.src);
+  SVMSIM_DBG_LK(m.lock_id, "recall received (held=%d token=%d)",
                   (int)lp.held, (int)lp.token);
   if (lp.token && !lp.held && !lp.remote_pending) {
     // Token is free: return it now, even if local processors are queued —
@@ -819,7 +848,7 @@ Task<void> SvmAgent::handle_lock_recall(net::Message m) {
 
 Task<void> SvmAgent::handle_token_return(net::Message m) {
   const int lock = m.lock_id;
-  SVMSIM_TRACE_LK(lock, "token returned");
+  SVMSIM_DBG_LK(lock, "token returned");
   assert(lock >= 0);
   LockHomeState& s = shared_->locks.ensure_owner(lock);
   s.recall_sent = false;
@@ -843,6 +872,7 @@ Task<void> HlrcAgent::arm_write(Processor& p, PageId page, PageCopy& c) {
   if (c.twin) co_return;
   c.twin = space_->acquire_twin(c.data);
   ++counters_->twins_created;
+  SVMSIM_AGENT_EVENT(kPage, kTwinCreate, p.id(), page, 0);
   p.charge(TimeCat::kProtocol,
            install_cycles(cfg_->arch, space_->page_bytes()));
 }
@@ -854,12 +884,13 @@ void HlrcAgent::make_diff(Processor& p, PageId page, PageCopy& c,
                           PageDiff& out) {
   assert(c.twin && "diffing a page without a twin");
   compute_diff(page, c.data, c.twin->bytes, out);
-  SVMSIM_TRACE_EVT(page, "diff created (%llu bytes modified)",
+  SVMSIM_DBG_EVT(page, "diff created (%llu bytes modified)",
                    static_cast<unsigned long long>(out.modified_bytes()));
   p.charge(TimeCat::kProtocol,
            diff_create_cycles(cfg_->arch, out, space_->page_bytes()));
   ++counters_->diffs_created;
   counters_->diff_bytes += out.wire_bytes();
+  SVMSIM_AGENT_EVENT(kPage, kDiffCreate, p.id(), page, out.wire_bytes());
   c.twin.reset();
 }
 

@@ -1,0 +1,261 @@
+#include "trace/chrome.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/message.hpp"
+
+namespace svmsim::trace {
+
+namespace {
+
+// Synthetic thread ids within a node's process (real processors use their
+// global proc id, which is always < 900 for any plausible configuration).
+constexpr int kAgentTid = 900;
+constexpr int kNiTxTid = 910;
+constexpr int kNiRxTid = 911;
+
+std::string_view msg_type_name(std::uint64_t t) {
+  switch (static_cast<net::MsgType>(t)) {
+    case net::MsgType::kPageRequest: return "page-request";
+    case net::MsgType::kPageReply: return "page-reply";
+    case net::MsgType::kDiffBatch: return "diff-batch";
+    case net::MsgType::kDiffAck: return "diff-ack";
+    case net::MsgType::kLockAcquire: return "lock-acquire";
+    case net::MsgType::kLockGrant: return "lock-grant";
+    case net::MsgType::kLockRecall: return "lock-recall";
+    case net::MsgType::kTokenReturn: return "token-return";
+    case net::MsgType::kBarrierArrive: return "barrier-arrive";
+    case net::MsgType::kBarrierRelease: return "barrier-release";
+    case net::MsgType::kUpdate: return "update";
+    case net::MsgType::kUpdateMarker: return "update-marker";
+    case net::MsgType::kUpdateMarkerAck: return "update-marker-ack";
+  }
+  return "message";
+}
+
+struct ChromeEvent {
+  std::uint64_t ts = 0;
+  std::uint64_t dur = 0;
+  int pid = 0;
+  int tid = 0;
+  char ph = 'i';
+  std::string name;
+  std::string args;  // rendered JSON object, may be empty
+};
+
+std::uint64_t clamped_start(std::uint64_t end, std::uint64_t dur) {
+  return end >= dur ? end - dur : 0;
+}
+
+}  // namespace
+
+std::string to_chrome_json(const TraceFile& f) {
+  std::vector<ChromeEvent> events;
+  events.reserve(f.records.size());
+
+  // Map a record to its (pid, tid) track.
+  const auto track_of = [](const Record& r) {
+    if (r.proc >= 0) return std::pair<int, int>{r.node, r.proc};
+    return std::pair<int, int>{r.node, kAgentTid};
+  };
+
+  // kTimeSpan stacking state: a flush emits several records at one time;
+  // lay the run out back-to-back ending at the flush time.
+  struct SpanGroup {
+    std::uint64_t time = ~0ull;
+    std::vector<std::size_t> idx;  // indices into `events` of this group
+    std::uint64_t total = 0;
+  };
+  std::map<int, SpanGroup> span_groups;  // per proc
+
+  const auto finish_group = [&events](SpanGroup& g) {
+    if (g.time == ~0ull) return;
+    std::uint64_t start = clamped_start(g.time, g.total);
+    for (std::size_t i : g.idx) {
+      events[i].ts = start;
+      start += events[i].dur;
+    }
+  };
+
+  // FIFO send->deliver matching per (src, dst) node pair.
+  struct PendingSend {
+    std::uint64_t time;
+    std::uint64_t type;
+    std::uint64_t bytes;
+  };
+  std::map<std::pair<int, int>, std::deque<PendingSend>> in_flight;
+  const int network_pid = f.nodes;
+
+  for (const Record& r : f.records) {
+    const Event ev = static_cast<Event>(r.event);
+    const auto [pid, tid] = track_of(r);
+
+    switch (ev) {
+      case Event::kTimeSpan: {
+        SpanGroup& g = span_groups[r.proc];
+        if (g.time != r.time) {
+          finish_group(g);
+          g.time = r.time;
+          g.idx.clear();
+          g.total = 0;
+        }
+        g.idx.push_back(events.size());
+        ChromeEvent e;
+        e.dur = r.a0;
+        e.pid = pid;
+        e.tid = tid;
+        e.ph = 'X';
+        e.name = std::string(svmsim::to_string(
+            static_cast<TimeCat>(r.a1 < static_cast<std::uint64_t>(kTimeCats)
+                                     ? r.a1
+                                     : 0)));
+        g.total += r.a0;
+        events.push_back(std::move(e));
+        break;
+      }
+      case Event::kHandlerSpan: {
+        ChromeEvent e;
+        e.ts = clamped_start(r.time, r.a0);
+        e.dur = r.a0;
+        e.pid = pid;
+        e.tid = tid;
+        e.ph = 'X';
+        e.name = "handler";
+        events.push_back(std::move(e));
+        break;
+      }
+      case Event::kNiTx:
+      case Event::kNiRx: {
+        ChromeEvent e;
+        e.ts = clamped_start(r.time, r.a1);
+        e.dur = r.a1;
+        e.pid = r.node;
+        e.tid = ev == Event::kNiTx ? kNiTxTid : kNiRxTid;
+        e.ph = 'X';
+        e.name = std::string(to_string(ev));
+        e.args = "{\"bytes\": " + std::to_string(r.a0) + "}";
+        events.push_back(std::move(e));
+        break;
+      }
+      case Event::kMsgSend: {
+        const int dst = static_cast<int>(r.a0 & 0xffffffffu);
+        in_flight[{r.node, dst}].push_back(
+            {r.time, r.a0 >> 32, r.a1});
+        break;
+      }
+      case Event::kMsgDeliver: {
+        const int src = static_cast<int>(r.a0 & 0xffffffffu);
+        auto& q = in_flight[{src, r.node}];
+        if (q.empty()) break;  // send outside the trace window
+        const PendingSend s = q.front();
+        q.pop_front();
+        ChromeEvent e;
+        e.ts = s.time;
+        e.dur = r.time >= s.time ? r.time - s.time : 0;
+        e.pid = network_pid;
+        e.tid = src * f.nodes + r.node;
+        e.ph = 'X';
+        e.name = std::string(msg_type_name(s.type));
+        e.args = "{\"bytes\": " + std::to_string(s.bytes) + "}";
+        events.push_back(std::move(e));
+        break;
+      }
+      default: {
+        ChromeEvent e;
+        e.ts = r.time;
+        e.pid = pid;
+        e.tid = ev == Event::kIoBus ? (r.a1 != 0 ? kNiRxTid : kNiTxTid) : tid;
+        e.ph = 'i';
+        e.name = std::string(to_string(ev));
+        e.args = "{\"a0\": " + std::to_string(r.a0) +
+                 ", \"a1\": " + std::to_string(r.a1) + "}";
+        events.push_back(std::move(e));
+        break;
+      }
+    }
+  }
+  for (auto& [proc, g] : span_groups) finish_group(g);
+
+  // Global timestamp sort => per-track monotonic timestamps.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChromeEvent& a, const ChromeEvent& b) {
+                     return a.ts < b.ts;
+                   });
+
+  // Name every track that appeared.
+  std::set<std::pair<int, int>> tracks;
+  for (const ChromeEvent& e : events) tracks.insert({e.pid, e.tid});
+
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  const auto emit_meta = [&](int pid, int tid, const std::string& kind,
+                             const std::string& name) {
+    os << (first ? "" : ",\n") << "  {\"ph\": \"M\", \"pid\": " << pid;
+    if (tid >= 0) os << ", \"tid\": " << tid;
+    os << ", \"name\": \"" << kind << "\", \"args\": {\"name\": \"" << name
+       << "\"}}";
+    first = false;
+  };
+  std::set<int> pids;
+  for (const auto& [pid, tid] : tracks) pids.insert(pid);
+  for (int pid : pids) {
+    emit_meta(pid, -1, "process_name",
+              pid == network_pid ? "network" : "node" + std::to_string(pid));
+  }
+  for (const auto& [pid, tid] : tracks) {
+    std::string name;
+    if (pid == network_pid) {
+      name = "n" + std::to_string(tid / std::max(1, f.nodes)) + "-to-n" +
+             std::to_string(tid % std::max(1, f.nodes));
+    } else if (tid == kAgentTid) {
+      name = "agent";
+    } else if (tid == kNiTxTid) {
+      name = "ni-tx";
+    } else if (tid == kNiRxTid) {
+      name = "ni-rx";
+    } else {
+      name = "cpu" + std::to_string(tid);
+    }
+    emit_meta(pid, tid, "thread_name", name);
+  }
+
+  for (const ChromeEvent& e : events) {
+    os << (first ? "" : ",\n") << "  {\"ph\": \"" << e.ph << "\", \"ts\": "
+       << e.ts;
+    if (e.ph == 'X') os << ", \"dur\": " << e.dur;
+    os << ", \"pid\": " << e.pid << ", \"tid\": " << e.tid << ", \"cat\": \""
+       << "svmsim\", \"name\": \"" << e.name << "\"";
+    if (e.ph == 'i') os << ", \"s\": \"t\"";
+    if (!e.args.empty()) os << ", \"args\": " << e.args;
+    os << "}";
+    first = false;
+  }
+
+  os << "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"build\": \""
+     << f.provenance << "\", \"categories\": \"" << mask_to_string(f.mask)
+     << "\", \"end_time\": " << f.end_time << "}}\n";
+  return os.str();
+}
+
+void write_chrome_json(const TraceFile& f, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("trace: cannot open " + tmp);
+    out << to_chrome_json(f);
+    if (!out) throw std::runtime_error("trace: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("trace: rename to " + path + " failed");
+  }
+}
+
+}  // namespace svmsim::trace

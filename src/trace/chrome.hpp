@@ -1,0 +1,31 @@
+// Chrome trace_event JSON export, loadable in chrome://tracing / Perfetto.
+//
+// Track layout:
+//   - one process per simulated node; one thread per processor ("cpu<p>"),
+//     plus an "agent" thread for node-level protocol/NIC events and
+//     "ni<k>-tx"/"ni<k>-rx" threads for per-packet NI occupancy spans;
+//   - one extra "network" process with a thread per (src -> dst) node pair:
+//     each message becomes a slice from its send to its delivery (the
+//     request/reply arrows of a message-passing timeline);
+//   - kTimeSpan flushes render as stacked Complete slices ending at their
+//     flush time; instantaneous protocol events render as Instant events.
+//
+// All events are emitted globally sorted by timestamp, so every track's
+// timestamps are monotonic (validated by tests/test_trace.cpp).
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace svmsim::trace {
+
+/// Render `f` as Chrome trace_event JSON ("traceEvents" array form plus
+/// metadata). Timestamps are simulated cycles reported in the JSON's
+/// microsecond field.
+[[nodiscard]] std::string to_chrome_json(const TraceFile& f);
+
+/// Convenience: to_chrome_json + atomic write to `path`.
+void write_chrome_json(const TraceFile& f, const std::string& path);
+
+}  // namespace svmsim::trace

@@ -1,0 +1,53 @@
+// Trace configuration: the runtime gate for the event recorder.
+//
+// Kept free of any tracer machinery so core/params.hpp can embed a Config
+// in SimConfig without pulling the whole trace subsystem into every
+// translation unit. See src/trace/trace.hpp for the recorder itself and
+// docs/tracing.md for the user-facing story.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace svmsim::trace {
+
+/// Event categories, maskable independently via --trace-categories.
+enum class Category : std::uint8_t {
+  kPage = 0,  ///< faults, fetches, twins, diffs, invalidations
+  kLock,      ///< lock token protocol and barriers
+  kNet,       ///< message/packet path: NI, I/O bus, wire
+  kIrq,       ///< interrupt/poll delivery and handler spans
+  kSched,     ///< per-processor time spans (the Breakdown mirror)
+  kCount,
+};
+
+inline constexpr int kCategories = static_cast<int>(Category::kCount);
+inline constexpr std::uint32_t kAllCategories = (1u << kCategories) - 1;
+
+[[nodiscard]] constexpr std::uint32_t category_bit(Category c) noexcept {
+  return 1u << static_cast<int>(c);
+}
+
+[[nodiscard]] std::string_view to_string(Category c) noexcept;
+
+/// Parse a comma-separated category list ("page,lock,net,irq,sched"); ""
+/// and "all" mean every category. Returns nullopt on an unknown name.
+[[nodiscard]] std::optional<std::uint32_t> parse_mask(std::string_view csv);
+
+/// Render a mask back to the comma-separated form parse_mask accepts.
+[[nodiscard]] std::string mask_to_string(std::uint32_t mask);
+
+/// Per-run trace settings, carried inside SimConfig. Tracing never affects
+/// simulated time: two runs differing only in Config produce identical
+/// RunResults.
+struct Config {
+  bool enabled = false;         ///< create a tracer for this run
+  std::uint32_t mask = kAllCategories;
+  std::string path;             ///< output file; empty = in-memory only
+
+  bool operator==(const Config&) const = default;
+};
+
+}  // namespace svmsim::trace

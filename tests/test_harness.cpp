@@ -93,10 +93,12 @@ TEST(Table, CsvRoundTrip) {
   const std::string path = "/tmp/svmsim_test_table.csv";
   t.write_csv(path);
   std::ifstream in(path);
-  std::string l1, l2, l3;
+  std::string l0, l1, l2, l3;
+  std::getline(in, l0);  // provenance comment row (see docs/tracing.md)
   std::getline(in, l1);
   std::getline(in, l2);
   std::getline(in, l3);
+  EXPECT_EQ(l0.rfind("# build: svmsim ", 0), 0u) << l0;
   EXPECT_EQ(l1, "app,speedup");
   EXPECT_EQ(l2, "fft,3.14");
   EXPECT_EQ(l3, "\"with,comma\",1");

@@ -1,0 +1,32 @@
+// Convert a binary svmsim trace (--trace=<file>) to Chrome trace_event JSON
+// loadable in Perfetto / chrome://tracing.
+//
+//   trace2chrome <trace.bin> [out.json]
+//
+// With no output argument, writes <trace.bin>.json.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "trace/chrome.hpp"
+#include "trace/trace.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: %s <trace.bin> [out.json]\n", argv[0]);
+    return 2;
+  }
+  const std::string in = argv[1];
+  const std::string out = argc == 3 ? argv[2] : in + ".json";
+  try {
+    const svmsim::trace::TraceFile f = svmsim::trace::read_file(in);
+    svmsim::trace::write_chrome_json(f, out);
+    std::printf("%s: %zu records -> %s (%d procs, %d nodes, end=%llu)\n",
+                in.c_str(), f.records.size(), out.c_str(), f.procs, f.nodes,
+                static_cast<unsigned long long>(f.end_time));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace2chrome: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
