@@ -41,6 +41,7 @@ Options Options::parse(int argc, char** argv) {
       std::exit(2);
     }
   }
+  opt.check.enabled = cli.has("check-consistency");
   opt.jobs = static_cast<int>(cli.get_int(
       "jobs", static_cast<long>(harness::JobPool::hardware_default())));
   opt.jobs = std::max(1, opt.jobs);
@@ -72,6 +73,11 @@ std::vector<harness::SweepPoint> suite_points(
         p.cfg.trace.path =
             opt.trace.path + "." + app + "-" + std::to_string(i);
       }
+      p.cfg.check = opt.check;
+      if (opt.check.enabled && opt.trace.enabled) {
+        // A violating point dumps its trace for trace2chrome replay.
+        p.cfg.check.trace_path = p.cfg.trace.path + ".violation";
+      }
       points.push_back(std::move(p));
     }
   }
@@ -96,6 +102,18 @@ std::vector<std::vector<harness::AppRun>> run_figure(
   // (app, value) point runs concurrently, not just the points of one app.
   std::vector<harness::AppRun> flat =
       sweep.run_points(suite_points(values, apply, opt), opt.pool());
+
+  // --check-consistency turns the bench into a pass/fail harness: any
+  // violation (already reported per-run on stderr) fails the process.
+  std::uint64_t violations = 0;
+  for (const auto& r : flat) violations += r.result.check_violations;
+  if (violations > 0) {
+    std::fprintf(stderr,
+                 "%s: consistency checker found %llu violation(s)\n",
+                 figure.c_str(),
+                 static_cast<unsigned long long>(violations));
+    std::exit(1);
+  }
 
   std::vector<std::vector<harness::AppRun>> all;
   auto it = flat.begin();

@@ -9,6 +9,8 @@
 //   --trace=<file>             record a binary event trace per sweep point
 //                              (each point writes <file>.<app>-<index>)
 //   --trace-categories=a,b     restrict tracing to page,lock,net,irq,sched
+//   --check-consistency        run the shadow consistency checker on every
+//                              point (exit 1 if any violation is found)
 #pragma once
 
 #include <functional>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "apps/registry.hpp"
+#include "check/config.hpp"
 #include "core/params.hpp"
 #include "harness/cli.hpp"
 #include "harness/job_pool.hpp"
@@ -32,6 +35,7 @@ struct Options {
   std::vector<std::string> app_names;
   int jobs = 1;
   trace::Config trace;  ///< applied to every sweep point (path is a prefix)
+  check::Config check;  ///< applied to every sweep point
 
   static Options parse(int argc, char** argv);
 

@@ -9,23 +9,35 @@
 // tools/scheduler_equivalence.sh) proves the builds fire events in the same
 // (time, seq) order everywhere these protocols exercise the engine.
 //
+// With --check-consistency every run additionally carries the shadow
+// consistency checker (src/check/); the printed observables are unchanged —
+// that is exactly what tools/check_equivalence.sh verifies — but the process
+// exits 1 if any run reports a violation.
+//
 // Keep the format append-only: the equivalence check compares byte-for-byte.
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace svmsim;
+
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-consistency") == 0) check = true;
+  }
 
   harness::Sweep sweep(apps::Scale::kTiny);
 
   std::vector<harness::SweepPoint> points;
   for (Protocol proto : {Protocol::kHLRC, Protocol::kAURC}) {
-    for (const char* app : {"fft", "lu"}) {
+    for (const char* app : {"fft", "lu", "stress-gen@3"}) {
       for (double overhead : {0.0, 1000.0}) {
         SimConfig cfg = bench::base_config();
         cfg.comm.protocol = proto;
         cfg.comm.host_overhead = static_cast<Cycles>(overhead);
+        cfg.check.enabled = check;
         points.push_back({app, cfg, overhead});
       }
     }
@@ -81,6 +93,16 @@ int main() {
         static_cast<unsigned long long>(k.updates_sent),
         static_cast<unsigned long long>(k.update_bytes),
         static_cast<unsigned long long>(k.ni_queue_overflows));
+  }
+
+  // Violation counts stay off stdout (the dump must be byte-identical with
+  // the checker compiled out) but still fail the process.
+  std::uint64_t violations = 0;
+  for (const auto& r : runs) violations += r.result.check_violations;
+  if (violations > 0) {
+    std::fprintf(stderr, "sweep_dump: %llu consistency violation(s)\n",
+                 static_cast<unsigned long long>(violations));
+    return 1;
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 // read and write *real data* with full protocol and timing behaviour.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -59,10 +60,19 @@ class Shm {
     return agent_->write(*proc_, a, src, bytes);
   }
 
+  /// Lock ids must be in [0, Machine::kMaxLocks). Larger ids are rejected in
+  /// debug builds; release builds take them modulo the cap, which stays
+  /// *coherent* (two ids mapping to the same lock alias one mutex — stricter
+  /// than intended, never unsafe) but can serialize unrelated critical
+  /// sections. See tests/test_check.cpp:LockAliasing.
   engine::Task<void> lock(int id) {
+    assert(id >= 0 && id < Machine::kMaxLocks &&
+           "lock id out of range (would alias modulo Machine::kMaxLocks)");
     return agent_->acquire_lock(*proc_, id % Machine::kMaxLocks);
   }
   engine::Task<void> unlock(int id) {
+    assert(id >= 0 && id < Machine::kMaxLocks &&
+           "lock id out of range (would alias modulo Machine::kMaxLocks)");
     return agent_->release_lock(*proc_, id % Machine::kMaxLocks);
   }
   engine::Task<void> barrier() { return agent_->barrier(*proc_); }

@@ -17,5 +17,8 @@ std::unique_ptr<Application> make_barnes_rebuild(Scale scale);
 std::unique_ptr<Application> make_barnes_space(Scale scale);
 std::unique_ptr<Application> make_raytrace(Scale scale);
 std::unique_ptr<Application> make_volrend(Scale scale);
+/// Seed-deterministic data-race-free fuzz workload for the consistency
+/// checker ("stress-gen", "stress-gen@<seed>"). See src/apps/stress_gen.cpp.
+std::unique_ptr<Application> make_stress_gen(Scale scale, std::uint64_t seed);
 
 }  // namespace svmsim::apps

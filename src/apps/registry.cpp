@@ -29,6 +29,24 @@ std::unique_ptr<Application> make_app(const std::string& name, Scale scale) {
   if (name == "barnes-space") return make_barnes_space(scale);
   if (name == "raytrace") return make_raytrace(scale);
   if (name == "volrend") return make_volrend(scale);
+  // "stress-gen" (seed 1) or "stress-gen@<seed>": the checker fuzz workload.
+  // Not part of suite() — it models no paper application; drive it
+  // explicitly (e.g. --apps=stress-gen@7). The seed is part of the name, so
+  // Sweep's per-(app, page size, protocol) baseline cache stays correct.
+  if (name.rfind("stress-gen", 0) == 0) {
+    std::uint64_t seed = 1;
+    if (name.size() > 10) {
+      if (name[10] != '@') {
+        throw std::invalid_argument("unknown application: " + name);
+      }
+      try {
+        seed = std::stoull(name.substr(11));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("bad stress-gen seed in: " + name);
+      }
+    }
+    return make_stress_gen(scale, seed);
+  }
   throw std::invalid_argument("unknown application: " + name);
 }
 

@@ -1,0 +1,241 @@
+// stress-gen: a seed-deterministic, data-race-free fuzz workload for the
+// consistency checker (src/check/).
+//
+// Unlike the SPLASH-2 ports, this program computes nothing from the paper —
+// it exists to exercise protocol corners: per-slot lock-guarded
+// read-modify-writes on a falsely-shared counter array, a rotating-writer
+// "ring" whose adjacent cells interleave every processor's writes on every
+// page, per-processor block regions rewritten with split block ops each
+// round, and barrier-ordered cross-processor verification reads. Every
+// access is ordered by a lock or a barrier at 4-byte-word granularity, so
+// under a correct protocol every verification read is exact and the shadow
+// oracle can judge every word (no abstentions on the values we check).
+//
+// Everything derives from the seed via RoundPlan, which is replayed in
+// validate() to recompute the expected lock tallies — there is no host-side
+// mutable oracle that could paper over a protocol bug. The registry name is
+// "stress-gen@<seed>", so a sweep treats each seed as a distinct app (its
+// uniprocessor baseline is cached per name).
+#include <cstdint>
+#include <vector>
+
+#include "apps/factories.hpp"
+
+namespace svmsim::apps {
+
+namespace {
+
+std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  Rng g(a * 0x9e3779b97f4a7c15ull + b * 0xd1b54a32d192ed03ull +
+        c * 0x2545f4914f6cdd1dull);
+  return g.next();
+}
+
+class StressGenApp final : public Application {
+ public:
+  StressGenApp(Scale scale, std::uint64_t seed)
+      : Application(scale), seed_(seed) {
+    switch (scale) {
+      case Scale::kTiny:
+        rounds_ = 4;
+        slots_ = 16;
+        cells_ = 48;
+        block_elems_ = 48;
+        max_lock_ops_ = 6;
+        break;
+      case Scale::kSmall:
+        rounds_ = 8;
+        slots_ = 64;
+        cells_ = 256;
+        block_elems_ = 128;
+        max_lock_ops_ = 16;
+        break;
+      case Scale::kLarge:
+        rounds_ = 12;
+        slots_ = 128;
+        cells_ = 1024;
+        block_elems_ = 256;
+        max_lock_ops_ = 32;
+        break;
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "stress-gen@" + std::to_string(seed_);
+  }
+
+  void setup(Machine& m) override {
+    const auto P = static_cast<std::uint64_t>(m.total_procs());
+    // Cyclic homes + dense 8-byte elements: every page of counters/ring
+    // carries many processors' words (false-sharing-heavy by construction).
+    counters_ = SharedArray<std::uint64_t>::alloc(m, slots_,
+                                                  Distribution::cyclic());
+    ring_ = SharedArray<std::uint64_t>::alloc(m, cells_,
+                                              Distribution::cyclic());
+    blocks_ = SharedArray<std::uint64_t>::alloc(m, P * block_elems_,
+                                                Distribution::block());
+    mismatches_ = 0;
+  }
+
+  engine::Task<void> body(Machine& m, ProcId pid) override {
+    Shm shm(m, pid);
+    const int P = shm.nprocs();
+    std::vector<std::uint64_t> buf(block_elems_);
+    for (std::uint32_t r = 0; r < rounds_; ++r) {
+      const RoundPlan pl = make_plan(r, pid, P);
+
+      // -- Phase A: exclusive writes (word-disjoint across processors) ----
+      // Ring cells owned this round: writer rotates with the round.
+      for (std::uint64_t c = first_cell(r, pid, P); c < cells_;
+           c += static_cast<std::uint64_t>(P)) {
+        co_await ring_.put(shm, c, cell_value(c, r));
+      }
+      // Own block region, rewritten as two split block stores.
+      const std::uint64_t b0 = static_cast<std::uint64_t>(pid) * block_elems_;
+      for (std::uint64_t i = 0; i < block_elems_; ++i) {
+        buf[i] = block_value(pid, r, i);
+      }
+      co_await blocks_.put_block(shm, b0, buf.data(), pl.block_split);
+      co_await blocks_.put_block(shm, b0 + pl.block_split,
+                                 buf.data() + pl.block_split,
+                                 block_elems_ - pl.block_split);
+      // Lock-guarded read-modify-writes on random falsely-shared slots.
+      for (const LockOp& op : pl.lock_ops) {
+        co_await shm.lock(kLockBase + static_cast<int>(op.slot));
+        const std::uint64_t v = co_await counters_.get(shm, op.slot);
+        co_await counters_.put(shm, op.slot, v + op.amount);
+        co_await shm.unlock(kLockBase + static_cast<int>(op.slot));
+      }
+      shm.compute(pl.think);
+      co_await shm.barrier();
+
+      // -- Phase B: cross-processor verification reads (barrier-ordered) --
+      // The next processor around the ring checks every cell we just wrote.
+      const int prev = (pid + 1) % P;
+      for (std::uint64_t c = first_cell(r, prev, P); c < cells_;
+           c += static_cast<std::uint64_t>(P)) {
+        const std::uint64_t got = co_await ring_.get(shm, c);
+        if (got != cell_value(c, r)) ++mismatches_;
+      }
+      // A random peer's freshly-written block region.
+      const std::uint64_t q0 =
+          static_cast<std::uint64_t>(pl.peer) * block_elems_;
+      co_await blocks_.get_block(shm, q0, buf.data(), block_elems_);
+      for (std::uint64_t i = 0; i < block_elems_; ++i) {
+        if (buf[i] != block_value(pl.peer, r, i)) ++mismatches_;
+      }
+      // A few random single-cell probes.
+      for (std::uint32_t c : pl.probe_cells) {
+        const std::uint64_t got = co_await ring_.get(shm, c);
+        if (got != cell_value(c, r)) ++mismatches_;
+      }
+      // Second barrier: phase-B reads must not race round r+1's writes.
+      co_await shm.barrier();
+    }
+  }
+
+  bool validate(Machine& m) override {
+    const int P = m.total_procs();
+    bool ok = mismatches_ == 0;
+    // Replay every processor's plan to recompute the lock tallies.
+    std::vector<std::uint64_t> want(slots_, 0);
+    for (std::uint32_t r = 0; r < rounds_; ++r) {
+      for (int pid = 0; pid < P; ++pid) {
+        for (const LockOp& op : make_plan(r, pid, P).lock_ops) {
+          want[op.slot] += op.amount;
+        }
+      }
+    }
+    for (std::uint64_t s = 0; s < slots_; ++s) {
+      ok &= counters_.debug_get(m, s) == want[s];
+    }
+    const std::uint32_t last = rounds_ - 1;
+    for (std::uint64_t c = 0; c < cells_; ++c) {
+      ok &= ring_.debug_get(m, c) == cell_value(c, last);
+    }
+    for (int p = 0; p < P; ++p) {
+      for (std::uint64_t i = 0; i < block_elems_; ++i) {
+        ok &= blocks_.debug_get(
+                  m, static_cast<std::uint64_t>(p) * block_elems_ + i) ==
+              block_value(p, last, i);
+      }
+    }
+    return ok;
+  }
+
+ private:
+  static constexpr int kLockBase = 64;
+
+  struct LockOp {
+    std::uint32_t slot;
+    std::uint64_t amount;
+  };
+  struct RoundPlan {
+    std::vector<LockOp> lock_ops;
+    std::uint64_t block_split;  // first block store covers [0, split)
+    int peer;                   // whose block region phase B verifies
+    std::vector<std::uint32_t> probe_cells;
+    Cycles think;
+  };
+
+  /// Smallest ring cell owned by `pid` in round `r`: cell c belongs to
+  /// processor (c + r) % P, so ownership rotates every round.
+  [[nodiscard]] static std::uint64_t first_cell(std::uint32_t r, int pid,
+                                                int P) {
+    const auto p = static_cast<std::uint64_t>(P);
+    return (static_cast<std::uint64_t>(pid) + p - r % p) % p;
+  }
+
+  [[nodiscard]] std::uint64_t cell_value(std::uint64_t c,
+                                         std::uint32_t r) const {
+    return mix3(seed_, 0x11u, c * 131u + r);
+  }
+  [[nodiscard]] std::uint64_t block_value(int p, std::uint32_t r,
+                                          std::uint64_t i) const {
+    return mix3(seed_, 0x22u,
+                (static_cast<std::uint64_t>(p) << 40) + (i << 8) + r);
+  }
+
+  /// Deterministic per-(round, processor) schedule; replayed by validate().
+  /// The rng draw sequence is P-independent, so a plan only depends on P
+  /// through the values (peer id), never through the stream position.
+  [[nodiscard]] RoundPlan make_plan(std::uint32_t r, int pid, int P) const {
+    Rng rng(mix3(seed_, r, static_cast<std::uint64_t>(pid)));
+    RoundPlan pl;
+    const std::uint32_t n_ops = 1 + rng.below(max_lock_ops_);
+    pl.lock_ops.reserve(n_ops);
+    for (std::uint32_t i = 0; i < n_ops; ++i) {
+      pl.lock_ops.push_back({rng.below(static_cast<std::uint32_t>(slots_)),
+                             1 + rng.next() % 997});
+    }
+    pl.block_split =
+        1 + rng.below(static_cast<std::uint32_t>(block_elems_ - 1));
+    pl.peer = static_cast<int>(rng.below(static_cast<std::uint32_t>(P)));
+    const std::uint32_t probes = 2 + rng.below(4);
+    for (std::uint32_t i = 0; i < probes; ++i) {
+      pl.probe_cells.push_back(rng.below(static_cast<std::uint32_t>(cells_)));
+    }
+    pl.think = rng.below(256);
+    return pl;
+  }
+
+  std::uint64_t seed_;
+  std::uint32_t rounds_;
+  std::uint64_t slots_;
+  std::uint64_t cells_;
+  std::uint64_t block_elems_;
+  std::uint32_t max_lock_ops_;
+
+  SharedArray<std::uint64_t> counters_;
+  SharedArray<std::uint64_t> ring_;
+  SharedArray<std::uint64_t> blocks_;
+  std::uint64_t mismatches_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Application> make_stress_gen(Scale scale, std::uint64_t seed) {
+  return std::make_unique<StressGenApp>(scale, seed);
+}
+
+}  // namespace svmsim::apps

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/checker.hpp"
 #include "engine/task.hpp"
 #include "trace/trace.hpp"
 
@@ -22,6 +23,12 @@ Machine::Machine(const SimConfig& cfg)
     tracer_ = std::make_unique<trace::Tracer>(
         cfg_.trace, cfg_.comm.total_procs, cfg_.comm.node_count());
     sim_.set_tracer(tracer_.get());
+  }
+#endif
+#ifndef SVMSIM_CHECK_DISABLED
+  if (cfg_.check.enabled) {
+    checker_ = std::make_unique<check::Checker>(cfg_.check, space_);
+    sim_.set_checker(checker_.get());
   }
 #endif
   const int nodes = cfg_.comm.node_count();
@@ -48,6 +55,14 @@ Machine::Machine(const SimConfig& cfg)
     nd.wire(*agent);
     agents_.push_back(std::move(agent));
   }
+}
+
+void Machine::debug_write(svm::GlobalAddr a, const void* src,
+                          std::uint64_t bytes) {
+  space_.debug_write(a, src, bytes);
+#ifndef SVMSIM_CHECK_DISABLED
+  if (checker_) checker_->on_debug_write(a, src, bytes);
+#endif
 }
 
 Machine::~Machine() {

@@ -18,6 +18,10 @@ namespace svmsim::trace {
 class Tracer;
 }  // namespace svmsim::trace
 
+namespace svmsim::check {
+class Checker;
+}  // namespace svmsim::check
+
 namespace svmsim {
 
 class Machine {
@@ -40,6 +44,10 @@ class Machine {
   /// The run's event recorder, or nullptr when cfg.trace is disabled (or
   /// tracing is compiled out). Also reachable as sim().tracer().
   [[nodiscard]] trace::Tracer* tracer() noexcept { return tracer_.get(); }
+
+  /// The run's consistency checker, or nullptr when cfg.check is disabled
+  /// (or checking is compiled out). Also reachable as sim().checker().
+  [[nodiscard]] check::Checker* checker() noexcept { return checker_.get(); }
 
   [[nodiscard]] int total_procs() const noexcept {
     return cfg_.comm.total_procs;
@@ -69,14 +77,15 @@ class Machine {
   void debug_read(svm::GlobalAddr a, void* dst, std::uint64_t bytes) {
     space_.debug_read(a, dst, bytes);
   }
-  void debug_write(svm::GlobalAddr a, const void* src, std::uint64_t bytes) {
-    space_.debug_write(a, src, bytes);
-  }
+  /// Out-of-band write; mirrored into the checker's shadow (initialization
+  /// data is happens-before everything), hence out of line.
+  void debug_write(svm::GlobalAddr a, const void* src, std::uint64_t bytes);
 
  private:
   SimConfig cfg_;
   engine::Simulator sim_;
   std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<check::Checker> checker_;
   Stats stats_;
   svm::AddressSpace space_;
   svm::SharedState shared_;

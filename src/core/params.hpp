@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "check/config.hpp"
 #include "engine/types.hpp"
 #include "trace/config.hpp"
 
@@ -153,6 +154,10 @@ struct SimConfig {
   /// Event-recorder settings (src/trace/). Never affects simulated time:
   /// results are byte-identical with tracing on or off.
   trace::Config trace;
+
+  /// Consistency-checker settings (src/check/). Like tracing, the checker is
+  /// passive: results are byte-identical with checking on or off.
+  check::Config check;
 };
 
 }  // namespace svmsim

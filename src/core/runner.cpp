@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/checker.hpp"
 #include "trace/trace.hpp"
 
 namespace svmsim {
@@ -58,6 +59,29 @@ RunResult run(Workload& w, const SimConfig& cfg, Cycles max_cycles) {
     r.time = std::max(r.time, m.proc(pid).finished_at());
   }
   r.validated = w.validate(m);
+#ifndef SVMSIM_CHECK_DISABLED
+  if (check::Checker* ck = m.checker()) {
+    // The final barrier + drain above guarantee every interval is flushed,
+    // so the end-of-run structural checks are meaningful.
+    ck->finalize(r.time);
+    r.check_violations = ck->violation_count();
+    if (r.check_violations > 0) {
+      ck->report(w.name(), stderr);
+#ifndef SVMSIM_TRACE_DISABLED
+      // Preserve the failing run's event trace for replay through
+      // tools/trace2chrome (see docs/checking.md).
+      if (!cfg.check.trace_path.empty()) {
+        if (trace::Tracer* t = m.tracer()) {
+          trace::write_file(t->capture(m.stats(), r.time),
+                            cfg.check.trace_path);
+          std::fprintf(stderr, "svmsim-check: violation trace written to %s\n",
+                       cfg.check.trace_path.c_str());
+        }
+      }
+#endif
+    }
+  }
+#endif
 #ifndef SVMSIM_TRACE_DISABLED
   // Publish the trace (if one was recorded to a file): the run's final
   // Stats are embedded so the trace is self-checkable (trace::check).
@@ -70,9 +94,11 @@ SimConfig uniprocessor_config(const SimConfig& cfg) {
   SimConfig uni = cfg;
   uni.comm.total_procs = 1;
   uni.comm.procs_per_node = 1;
-  // Baseline runs are never traced: the interesting run is the parallel
-  // one, and a shared trace path must not be overwritten by the baseline.
+  // Baseline runs are never traced or checked: the interesting run is the
+  // parallel one, and a shared trace path must not be overwritten by the
+  // baseline.
   uni.trace = trace::Config{};
+  uni.check = check::Config{};
   return uni;
 }
 

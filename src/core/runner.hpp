@@ -37,6 +37,9 @@ struct RunResult {
   Stats stats{0};
   std::uint64_t events = 0;  ///< discrete events fired by the simulation
   bool validated = false;
+  /// Consistency violations found by the shadow oracle; always 0 unless the
+  /// run had cfg.check.enabled (and the checker compiled in).
+  std::uint64_t check_violations = 0;
 
   /// Per-processor rate of `events` per million compute cycles, averaged
   /// over processors — the normalization used by Table 2 / Figures 3-4.

@@ -17,6 +17,10 @@ namespace svmsim::trace {
 class Tracer;
 }  // namespace svmsim::trace
 
+namespace svmsim::check {
+class Checker;
+}  // namespace svmsim::check
+
 namespace svmsim::engine {
 
 class Simulator {
@@ -29,6 +33,12 @@ class Simulator {
   /// pointer (see src/trace/trace.hpp and the SVMSIM_TRACE_EVENT macro).
   [[nodiscard]] trace::Tracer* tracer() const noexcept { return tracer_; }
   void set_tracer(trace::Tracer* t) noexcept { tracer_ = t; }
+
+  /// The run's consistency checker, or nullptr when checking is off (the
+  /// common case). Owned by the Machine; protocol layers reach it through
+  /// their sim_ pointer via the SVMSIM_CHECK_HOOK macro (src/check/).
+  [[nodiscard]] check::Checker* checker() const noexcept { return checker_; }
+  void set_checker(check::Checker* c) noexcept { checker_ = c; }
 
   /// Awaitable that suspends the coroutine for `d` cycles. d == 0 still goes
   /// through the event queue, i.e. it yields to any already-scheduled event
@@ -56,6 +66,7 @@ class Simulator {
  private:
   EventQueue queue_;
   trace::Tracer* tracer_ = nullptr;
+  check::Checker* checker_ = nullptr;
 };
 
 /// One-shot broadcast event: waiters suspend until fire() is called; waits

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "check/checker.hpp"
+
 namespace svmsim::svm {
 
 using engine::Task;
@@ -70,6 +72,10 @@ void AurcAgent::emit_run(PageId page, Run& run) {
   m.payload_bytes = 16 + len;
   m.body = std::move(data);
   run.active = false;
+  SVMSIM_CHECK_HOOK(*sim_, on_update_emit, self_, page);
+  // Fault injection (kLostDiff): the AU stream silently drops the run
+  // (dropping the message also recycles its pooled body).
+  if (SVMSIM_CHECK_MUTATION_IS(*sim_, kLostDiff)) return;
   // The AU device posts straight into the NI (the pairwise one, keeping
   // update order per home): no host processor involvement.
   engine::spawn(comm_->nic_for(m.dst).post(std::move(m)));
@@ -80,6 +86,7 @@ void AurcAgent::apply_update(const net::Message& m) {
   auto home = space_->home_data(m.page);
   assert(m.offset + data.size() <= home.size());
   std::memcpy(home.data() + m.offset, data.data(), data.size());
+  SVMSIM_CHECK_HOOK(*sim_, on_update_apply, sim_->now(), m.src, m.page);
   if (invalidate_caches) {
     invalidate_caches(m.page * space_->page_bytes() + m.offset, data.size());
   }
@@ -129,6 +136,8 @@ Task<void> AurcAgent::propagate_dirty(Processor& p,
     if (!c.dirty) continue;
     c.dirty = false;
     c.au_active = false;
+    SVMSIM_CHECK_HOOK(*sim_, on_page_state, sim_->now(), self_, page, c.state,
+                      PageState::kReadOnly, check::PageEvent::kFlushDemote);
     c.state = PageState::kReadOnly;  // re-arm write detection
     if (home_of(page) != self_) {
       begin_page_flush(page);
@@ -153,6 +162,8 @@ Task<void> AurcAgent::flush_page_for_invalidation(Processor& p, PageId page,
   c.au_active = false;
   // Demote immediately: a write racing the marker ack must fault so it
   // re-arms the AU device instead of being silently dropped.
+  SVMSIM_CHECK_HOOK(*sim_, on_page_state, sim_->now(), self_, page, c.state,
+                    PageState::kReadOnly, check::PageEvent::kFlushDemote);
   c.state = PageState::kReadOnly;
   if (page < runs_.size()) {
     Run& r = runs_[static_cast<std::size_t>(page)];

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <utility>
 
+#include "check/checker.hpp"
 #include "trace/trace.hpp"
 
 namespace svmsim::svm {
@@ -174,6 +175,9 @@ Task<PageCopy*> SvmAgent::ensure_valid(Processor& p, PageId page,
                cfg_->arch.fault_trap_cycles + cfg_->arch.tlb_access_cycles);
     }
     if (c.state == PageState::kUnmapped && h == self_) {
+      SVMSIM_CHECK_HOOK(*sim_, on_page_state, sim_->now(), self_, page,
+                        c.state, PageState::kReadOnly,
+                        check::PageEvent::kHomeMap);
       c.state = PageState::kReadOnly;  // home pages map without protocol
       co_return &c;
     }
@@ -211,6 +215,8 @@ Task<PageCopy*> SvmAgent::writable(Processor& p, PageId page) {
   }
   co_await arm_write(p, page, *vc);  // twin (HLRC) / AU mapping (AURC)
   mark_dirty(page, *vc);
+  SVMSIM_CHECK_HOOK(*sim_, on_page_state, sim_->now(), self_, page, vc->state,
+                    PageState::kReadWrite, check::PageEvent::kArmWrite);
   vc->state = PageState::kReadWrite;
   co_return vc;
 }
@@ -226,6 +232,8 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
     auto home = space_->home_data(page);
     std::memcpy(c.data.data(), home.data(), pb);
     if (invalidate_caches) invalidate_caches(page * pb, pb);
+    SVMSIM_CHECK_HOOK(*sim_, on_page_state, sim_->now(), self_, page, c.state,
+                      PageState::kReadOnly, check::PageEvent::kFetchInstall);
     c.state = PageState::kReadOnly;
     SVMSIM_AGENT_EVENT(kPage, kPageInstall, p.id(), page, 1);
     co_return;
@@ -236,6 +244,7 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
   assert(fetch_slot(page) == nullptr && "duplicate fetch for a page");
   fetch_slot(page) = shared_->pools.triggers.acquire();
   const std::uint32_t gen_at_start = c.inval_gen;
+  SVMSIM_CHECK_HOOK(*sim_, on_fetch_issue, self_, page);
 
   net::Message m;
   m.type = net::MsgType::kPageRequest;
@@ -252,7 +261,11 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
 
   const std::vector<std::byte>& data = bytes_body(rep.body);
   assert(data.size() == pb);
-  std::memcpy(c.data.data(), data.data(), pb);
+  // Fault injection (kStaleRead): a refetch after an invalidation keeps the
+  // stale bytes, as if the install wrote the wrong copy.
+  if (!(SVMSIM_CHECK_MUTATION_IS(*sim_, kStaleRead) && c.inval_gen > 0)) {
+    std::memcpy(c.data.data(), data.data(), pb);
+  }
   SVMSIM_DBG_EVT(page, "fetch installed (gen %u -> %u) word0=%d",
                    gen_at_start, c.inval_gen,
                    *reinterpret_cast<const int*>(c.data.data()));
@@ -263,8 +276,15 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
   // If a write notice invalidated this page while the fetch was in flight,
   // the copy may already be stale: leave it invalid and let the access
   // retry; otherwise map it read-only.
-  c.state = c.inval_gen == gen_at_start ? PageState::kReadOnly
-                                        : PageState::kInvalid;
+  const PageState installed = c.inval_gen == gen_at_start
+                                  ? PageState::kReadOnly
+                                  : PageState::kInvalid;
+  SVMSIM_CHECK_HOOK(*sim_, on_page_state, sim_->now(), self_, page, c.state,
+                    installed,
+                    installed == PageState::kReadOnly
+                        ? check::PageEvent::kFetchInstall
+                        : check::PageEvent::kFetchInstallStale);
+  c.state = installed;
   c.fetching = false;
   engine::Trigger* t = fetch_slot(page);
   fetch_slot(page) = nullptr;
@@ -332,6 +352,8 @@ Task<void> SvmAgent::read(Processor& p, GlobalAddr addr, void* dst,
       std::memcpy(out, c->data.data() + off, chunk);
       out += chunk;
     }
+    SVMSIM_CHECK_HOOK(*sim_, on_read, sim_->now(), self_, vc_, addr,
+                      c->data.data() + off, chunk);
     // Timing: one access per cache line touched.
     const std::uint64_t first_line = addr / lb;
     const std::uint64_t last_line = (addr + chunk - 1) / lb;
@@ -365,6 +387,8 @@ Task<void> SvmAgent::write(Processor& p, GlobalAddr addr, const void* src,
     PageCopy* c = co_await writable(p, page);
     if (in != nullptr) {
       std::memcpy(c->data.data() + off, in, chunk);
+      SVMSIM_CHECK_HOOK(*sim_, on_write, sim_->now(), self_, vc_, addr, in,
+                        chunk);
       in += chunk;
     }
     on_store(p, page, *c, off, chunk);
@@ -416,10 +440,15 @@ Task<void> SvmAgent::flush(Processor& p) {
   propagating_.swap(dirty_pages_);
   interval_scratch_.clear();
   interval_scratch_.swap(interval_pages_);
+  // The swap is the interval boundary: writes from here on refill the live
+  // lists and belong to the *next* interval even though the vector clock
+  // only advances after the propagation below completes.
+  SVMSIM_CHECK_HOOK(*sim_, on_flush_cut, self_);
 
   co_await propagate_dirty(p, propagating_);
 
   const std::uint32_t idx = vc_.advance(self_);
+  SVMSIM_CHECK_HOOK(*sim_, on_vclock, sim_->now(), self_, vc_);
   shared_->dir.record_interval(self_, idx, interval_scratch_);
 
   if (dbg_flush()) {
@@ -450,12 +479,19 @@ Task<void> SvmAgent::apply_invalidations(Processor& p, const VClock& target) {
   std::sort(pages.begin(), pages.end());
   pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
 
+  // Fault injection (kSkippedNotice): silently forget one write notice, so
+  // a stale copy survives the acquire.
+  if (SVMSIM_CHECK_MUTATION_IS(*sim_, kSkippedNotice) && !pages.empty()) {
+    pages.pop_back();
+  }
+
   const std::uint32_t pb = space_->page_bytes();
   for (PageId page : pages) {
     if (home_of(page) == self_) continue;  // the home is always up to date
     if (!space_->has_copy(self_, page)) continue;
     PageCopy& c = space_->copy(self_, page);
     ++c.inval_gen;  // makes racing in-flight fetches install as invalid
+    SVMSIM_CHECK_HOOK(*sim_, on_inval_notice, self_, page);
     // If this node's own diff/updates for the page are still in flight, a
     // refetch could miss them; wait for the home's ack first.
     co_await wait_page_flush(p, page);
@@ -471,6 +507,8 @@ Task<void> SvmAgent::apply_invalidations(Processor& p, const VClock& target) {
     }
     SVMSIM_DBG_EVT(page, "invalidated (state was %d)",
                      static_cast<int>(c.state));
+    SVMSIM_CHECK_HOOK(*sim_, on_page_state, sim_->now(), self_, page, c.state,
+                      PageState::kInvalid, check::PageEvent::kInvalidate);
     c.state = PageState::kInvalid;
     c.twin.reset();
     c.au_active = false;
@@ -480,6 +518,7 @@ Task<void> SvmAgent::apply_invalidations(Processor& p, const VClock& target) {
     if (invalidate_caches) invalidate_caches(page * pb, pb);
   }
   vc_.merge(target);
+  SVMSIM_CHECK_HOOK(*sim_, on_vclock, sim_->now(), self_, vc_);
 }
 
 // ---------------------------------------------------------------------------
@@ -518,6 +557,8 @@ Task<void> SvmAgent::acquire_lock(Processor& p, int lock) {
         ++counters_->local_lock_acquires;
         SVMSIM_AGENT_EVENT(kLock, kLockLocal, p.id(), lock, 0);
         SVMSIM_DBG_LK(lock, "local acquire");
+        SVMSIM_CHECK_HOOK(*sim_, on_lock_acquired, sim_->now(), self_, lock,
+                          vc_);
         co_return;
       }
       if (lp.token && lp.recall_pending) {
@@ -550,6 +591,8 @@ Task<void> SvmAgent::acquire_lock(Processor& p, int lock) {
       lp.held = true;
       SVMSIM_DBG_LK(lock, "remote acquire granted");
       co_await apply_invalidations(p, vclock_body(grant.body));
+      SVMSIM_CHECK_HOOK(*sim_, on_lock_acquired, sim_->now(), self_, lock,
+                        vc_);
       co_return;
     }
     // Queue behind local activity on this lock.
@@ -571,6 +614,7 @@ Task<void> SvmAgent::release_lock(Processor& p, int lock) {
                   (int)lp.recall_pending, lp.waiters.size());
   assert(lp.held && "release of a lock this node does not hold");
   shared_->locks.state(lock).vc = vc_;
+  SVMSIM_CHECK_HOOK(*sim_, on_lock_release, sim_->now(), self_, lock, vc_);
   p.charge(TimeCat::kProtocol, cfg_->arch.smp_lock_cycles);
   lp.held = false;
 
@@ -631,6 +675,7 @@ Task<void> SvmAgent::barrier(Processor& p) {
   // Last arriver: node representative.
   barrier_arrived_ = 0;
   co_await flush(p);
+  SVMSIM_CHECK_HOOK(*sim_, on_barrier_flush, sim_->now(), self_, vc_);
 
   if (self_ == shared_->hub.manager()) {
     const Cycles t0 = co_await p.wait_begin();
@@ -659,6 +704,7 @@ Task<void> SvmAgent::barrier(Processor& p) {
     barrier_arrivals_.clear();  // drops the arrival bodies back to the pool
     merged_body.reset();
     co_await apply_invalidations(p, barrier_merged_);
+    SVMSIM_CHECK_HOOK(*sim_, on_barrier_exit, sim_->now(), self_, vc_);
   } else {
     barrier_release_.reset();
     net::Message arr;
@@ -676,6 +722,7 @@ Task<void> SvmAgent::barrier(Processor& p) {
     co_await apply_invalidations(p,
                                  vclock_body(barrier_release_msg_.body));
     barrier_release_msg_.recycle();  // return the shared body reference
+    SVMSIM_CHECK_HOOK(*sim_, on_barrier_exit, sim_->now(), self_, vc_);
   }
 
   // Release the node's processors into the next episode.
@@ -748,6 +795,7 @@ Task<void> SvmAgent::handle_diff_batch(net::Message m) {
   Cycles cost = 0;
   for (const PageDiff& d : batch.view()) {
     apply_diff(space_->home_data(d.page), d);
+    SVMSIM_CHECK_HOOK(*sim_, on_diff_apply, sim_->now(), m.src, d.page);
     SVMSIM_AGENT_EVENT(kPage, kDiffApply, -1, d.page, d.modified_bytes());
     SVMSIM_DBG_EVT(d.page, "diff applied at home from node %d (%llu bytes)",
                      m.src, static_cast<unsigned long long>(d.modified_bytes()));
@@ -908,6 +956,7 @@ Task<void> HlrcAgent::propagate_dirty(Processor& p,
   // invalidation and then re-dirtied); processing one twice would wait on
   // this very batch's own in-flight flush. Stamp instead of a seen-set.
   const std::uint32_t epoch = ++flush_epoch_;
+  bool dropped_diff = false;  // kLostDiff fault injection, one per pass
 
   for (PageId page : pages) {
     PageCopy& c = space_->copy(self_, page);
@@ -922,6 +971,9 @@ Task<void> HlrcAgent::propagate_dirty(Processor& p,
     c.dirty = false;
     const NodeId h = home_of(page);
     if (h == self_) {
+      SVMSIM_CHECK_HOOK(*sim_, on_page_state, sim_->now(), self_, page,
+                        c.state, PageState::kReadOnly,
+                        check::PageEvent::kFlushDemote);
       c.state = PageState::kReadOnly;  // re-arm write detection at home
       continue;
     }
@@ -933,8 +985,18 @@ Task<void> HlrcAgent::propagate_dirty(Processor& p,
     }
     PageDiff& d = bref->next();
     make_diff(p, page, c, d);
+    SVMSIM_CHECK_HOOK(*sim_, on_page_state, sim_->now(), self_, page, c.state,
+                      PageState::kReadOnly, check::PageEvent::kFlushDemote);
     c.state = PageState::kReadOnly;
     if (d.empty()) {
+      bref->pop_last();
+      continue;
+    }
+    SVMSIM_CHECK_HOOK(*sim_, on_diff_create, self_, page);
+    // Fault injection (kLostDiff): drop the first diff of every release
+    // flush on the floor, as if the batch had been truncated.
+    if (SVMSIM_CHECK_MUTATION_IS(*sim_, kLostDiff) && !dropped_diff) {
+      dropped_diff = true;
       bref->pop_last();
       continue;
     }
@@ -979,8 +1041,11 @@ Task<void> HlrcAgent::flush_page_for_invalidation(Processor& p, PageId page,
   make_diff(p, page, c, d);
   // Demote immediately: a write racing the ack below must fault so it gets
   // a fresh twin and is not silently dropped by the coming invalidation.
+  SVMSIM_CHECK_HOOK(*sim_, on_page_state, sim_->now(), self_, page, c.state,
+                    PageState::kReadOnly, check::PageEvent::kFlushDemote);
   c.state = PageState::kReadOnly;
   if (d.empty()) co_return;  // dropping the ref recycles the batch
+  SVMSIM_CHECK_HOOK(*sim_, on_diff_create, self_, page);
   begin_page_flush(page);
   const std::uint64_t wire = d.wire_bytes();
   net::Message m;

@@ -1,16 +1,19 @@
 // Randomized protocol stress: data-race-free programs generated from seeds.
 //
-// Every shared slot is guarded by its own lock; processors perform random
-// lock-protected read-modify-writes interleaved with random compute,
-// barriers and page-sized block traffic. Because each applied delta is also
-// tallied host-side, the final shared values are exactly predictable — any
-// protocol race (lost update, stale read, resurrection) breaks the tally.
+// Two oracles run side by side. The host-side tally (LambdaWorkload tests
+// below) predicts the final shared values exactly — any protocol race (lost
+// update, stale read, resurrection) breaks the tally. The shadow consistency
+// checker (src/check/) additionally validates *every* synchronized read
+// online against happens-before, page state transitions against the
+// protocol's legal-move table, and vector clocks against monotonicity — so a
+// bug that happens to produce the right final bytes still fails. The
+// CheckedStressMatrix drives the registered stress-gen fuzz app through the
+// full protocol x ppn x page-size x seed cross product under the checker.
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <tuple>
 #include <vector>
 
+#include "apps/registry.hpp"
 #include "common.hpp"
 
 namespace svmsim::test {
@@ -20,6 +23,59 @@ using apps::Distribution;
 using apps::Rng;
 using apps::SharedArray;
 using apps::Shm;
+
+// ---------------------------------------------------------------------------
+// Checked seed matrix over the stress-gen fuzz application
+// ---------------------------------------------------------------------------
+
+struct CheckedParam {
+  std::uint64_t seed;
+  Protocol proto;
+  int ppn;
+  std::uint32_t page_bytes;
+};
+
+class CheckedStressMatrix : public ::testing::TestWithParam<CheckedParam> {};
+
+TEST_P(CheckedStressMatrix, FuzzRunIsExactAndViolationFree) {
+  const CheckedParam sp = GetParam();
+  SimConfig cfg = config_with(16, sp.ppn, sp.proto);
+  cfg.comm.page_bytes = sp.page_bytes;
+  cfg.check.enabled = true;
+
+  auto app = apps::make_app("stress-gen@" + std::to_string(sp.seed),
+                            apps::Scale::kTiny);
+  const RunResult r = run(*app, cfg);
+  EXPECT_TRUE(r.validated);
+  EXPECT_EQ(r.check_violations, 0u);
+}
+
+std::vector<CheckedParam> checked_params() {
+  std::vector<CheckedParam> v;
+  for (Protocol proto : {Protocol::kHLRC, Protocol::kAURC}) {
+    for (int ppn : {1, 4, 8}) {
+      for (std::uint32_t pg : {1024u, 4096u, 16384u}) {
+        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+          v.push_back({seed, proto, ppn, pg});
+        }
+      }
+    }
+  }
+  return v;
+}
+
+std::string checked_name(const ::testing::TestParamInfo<CheckedParam>& info) {
+  const auto& p = info.param;
+  return to_string(p.proto) + "_ppn" + std::to_string(p.ppn) + "_pg" +
+         std::to_string(p.page_bytes) + "_seed" + std::to_string(p.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, CheckedStressMatrix,
+                         ::testing::ValuesIn(checked_params()), checked_name);
+
+// ---------------------------------------------------------------------------
+// Host-side tally oracle (pre-checker stress tests, kept as a second net)
+// ---------------------------------------------------------------------------
 
 struct StressParam {
   std::uint64_t seed;
@@ -34,6 +90,7 @@ TEST_P(StressMatrix, RandomDrfProgramIsExact) {
   const StressParam sp = GetParam();
   SimConfig cfg = config_with(16, sp.ppn, sp.proto);
   cfg.comm.page_bytes = sp.page_bytes;
+  cfg.check.enabled = true;  // shadow oracle rides along at no extra setup
 
   constexpr int kSlots = 96;
   constexpr int kOpsPerProc = 60;
@@ -106,6 +163,7 @@ TEST_P(StressMatrix, RandomDrfProgramIsExact) {
 
   auto r = run(w, cfg);
   EXPECT_TRUE(r.validated);
+  EXPECT_EQ(r.check_violations, 0u);
 }
 
 std::vector<StressParam> stress_params() {
@@ -158,6 +216,7 @@ TEST_P(ExtremeConfig, AccumulationStaysExact) {
   };
   SimConfig cfg = config_with(16, 4);
   kExtremes[static_cast<std::size_t>(GetParam())].mutate(cfg);
+  cfg.check.enabled = true;
 
   constexpr int kSlots = 32;
   SharedArray<long long> acc;
@@ -188,6 +247,7 @@ TEST_P(ExtremeConfig, AccumulationStaysExact) {
       });
   auto r = run(w, cfg);
   EXPECT_TRUE(r.validated);
+  EXPECT_EQ(r.check_violations, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Cases, ExtremeConfig, ::testing::Range(0, 7));

@@ -17,7 +17,8 @@ shift || true
 
 cmake -S "$repo_root" -B "$build_dir" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSVMSIM_SANITIZE=address,undefined
+  -DSVMSIM_SANITIZE=address,undefined \
+  -DSVMSIM_CHECK=ON
 cmake --build "$build_dir" -j "$(nproc)"
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
