@@ -42,8 +42,15 @@ Options Options::parse(int argc, char** argv) {
     }
   }
   opt.check.enabled = cli.has("check-consistency");
-  opt.jobs = static_cast<int>(cli.get_int(
-      "jobs", static_cast<long>(harness::JobPool::hardware_default())));
+  opt.par_cores = std::max(1, static_cast<int>(cli.get_int("par-cores", 1)));
+  // Jobs x par_cores threads run at once: when PDES mode is on, shrink the
+  // default job count so the machine is not oversubscribed. An explicit
+  // --jobs always wins.
+  long default_jobs = static_cast<long>(harness::JobPool::hardware_default());
+  if (opt.par_cores > 1) {
+    default_jobs = std::max(1L, default_jobs / opt.par_cores);
+  }
+  opt.jobs = static_cast<int>(cli.get_int("jobs", default_jobs));
   opt.jobs = std::max(1, opt.jobs);
   if (opt.jobs > 1) {
     opt.pool_ = std::make_shared<harness::JobPool>(
@@ -67,6 +74,7 @@ std::vector<harness::SweepPoint> suite_points(
     for (std::size_t i = 0; i < values.size(); ++i) {
       harness::SweepPoint p{app, base_config(), values[i]};
       apply(p.cfg, values[i]);
+      p.cfg.par_cores = opt.par_cores;
       p.cfg.trace = opt.trace;
       if (opt.trace.enabled) {
         // Each point is its own Machine/run: give each its own trace file.

@@ -11,6 +11,11 @@
 //   --trace-categories=a,b     restrict tracing to page,lock,net,irq,sched
 //   --check-consistency        run the shadow consistency checker on every
 //                              point (exit 1 if any violation is found)
+//   --par-cores=N              run each simulation point on N partition
+//                              worker threads (PDES mode; results are
+//                              byte-identical to serial). The default job
+//                              count shrinks to hardware/N so the two levels
+//                              of parallelism do not oversubscribe.
 #pragma once
 
 #include <functional>
@@ -34,6 +39,7 @@ struct Options {
   std::string csv_dir;
   std::vector<std::string> app_names;
   int jobs = 1;
+  int par_cores = 1;    ///< SimConfig::par_cores for every sweep point
   trace::Config trace;  ///< applied to every sweep point (path is a prefix)
   check::Config check;  ///< applied to every sweep point
 

@@ -3,8 +3,16 @@
 // identical, and reports wall-clock time, simulation throughput (events/sec)
 // and heap-allocation rate (allocs/event), machine-readably.
 //
+// A second arm measures the PDES mode (docs/engine.md): one run of
+// --pdes-app, serial vs --par-cores=<pdes-cores> partition worker threads.
+// Results must be bit-identical; the speedup, per-partition event counts and
+// conservative-window count land in the "pdes" section of the JSON.
+// --pdes-min-speedup=X turns the recorded speedup into a gate (exit 1 below
+// X) for CI runs at a scale large enough to amortize the window barriers.
+//
 //   ./perf_selfcheck [--scale=tiny] [--jobs=N] [--apps=a,b,c]
-//                    [--out=BENCH_sweep.json]
+//                    [--pdes-app=fft] [--pdes-cores=4] [--pdes-scale=large]
+//                    [--pdes-min-speedup=X] [--out=BENCH_sweep.json]
 //
 // If the output file already exists with a compatible schema, the previous
 // serial numbers are read back and a before/after comparison line is
@@ -15,6 +23,7 @@
 //
 // Exit status is nonzero if the parallel results differ from the serial
 // ones, so this doubles as a determinism check for CI.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -121,8 +130,9 @@ std::optional<double> json_number_after(const std::string& text,
 
 /// The schema version this program writes. v2 added the top-level "schema"
 /// tag itself and the shared "micro_event_queue" section (see
-/// micro_event_queue.cpp); files without the tag predate v2.
-constexpr int kSchema = 2;
+/// micro_event_queue.cpp); files without the tag predate v2. v3 added the
+/// "pdes" section (node-partitioned parallel simulation).
+constexpr int kSchema = 3;
 
 }  // namespace
 
@@ -195,6 +205,58 @@ int main(int argc, char** argv) {
                              ? serial.wall_seconds / parallel.wall_seconds
                              : 0.0;
 
+  // PDES arm: one run, serial event loop vs par_cores partition workers.
+  // The two runs must be bit-identical (the docs/engine.md determinism
+  // contract), so equal events make the events/sec ratio a pure wall-clock
+  // speedup.
+  const int pdes_cores =
+      std::max(2, static_cast<int>(cli.get_int("pdes-cores", 4)));
+  const std::string pdes_app = cli.get_or("pdes-app", "fft");
+  const double pdes_min = cli.get_double("pdes-min-speedup", 0.0);
+  apps::Scale pdes_scale = opt.scale;
+  if (auto s = cli.get("pdes-scale")) {
+    pdes_scale = *s == "large"   ? apps::Scale::kLarge
+                 : *s == "small" ? apps::Scale::kSmall
+                                 : apps::Scale::kTiny;
+  }
+  auto timed_run = [](const std::string& app, apps::Scale scale,
+                      const SimConfig& cfg, Measurement& m) {
+    auto w = apps::make_app(app, scale);
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    RunResult r = run(*w, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    m.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    m.allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+    m.events = r.events;
+    return r;
+  };
+  // --pdes-procs grows the simulated cluster (keeping the paper's 4 procs
+  // per node): more nodes means more events inside each conservative window,
+  // which is the regime the PDES mode exists for. 0 keeps the default.
+  const int pdes_procs = static_cast<int>(cli.get_int("pdes-procs", 0));
+  SimConfig pdes_base = bench::base_config();
+  if (pdes_procs > 0) pdes_base.comm.total_procs = pdes_procs;
+  std::fprintf(stderr, "perf_selfcheck: pdes arm: %s on %d procs, serial "
+               "then --par-cores=%d\n", pdes_app.c_str(),
+               pdes_base.comm.total_procs, pdes_cores);
+  Measurement pdes_serial_m, pdes_par_m;
+  const RunResult pdes_serial =
+      timed_run(pdes_app, pdes_scale, pdes_base, pdes_serial_m);
+  SimConfig pdes_cfg = pdes_base;
+  pdes_cfg.par_cores = pdes_cores;
+  const RunResult pdes_par =
+      timed_run(pdes_app, pdes_scale, pdes_cfg, pdes_par_m);
+  const bool pdes_same = pdes_serial.time == pdes_par.time &&
+                         pdes_serial.events == pdes_par.events &&
+                         pdes_serial.stats == pdes_par.stats &&
+                         pdes_serial.stats.counters() ==
+                             pdes_par.stats.counters();
+  const double pdes_speedup =
+      pdes_serial_m.events_per_sec() > 0
+          ? pdes_par_m.events_per_sec() / pdes_serial_m.events_per_sec()
+          : 0.0;
+
   std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"sweep\",\n"
@@ -220,7 +282,22 @@ int main(int argc, char** argv) {
     json << "},\n";
   }
   json << "  \"speedup\": " << speedup << ",\n"
-       << "  \"identical_results\": " << (same ? "true" : "false");
+       << "  \"identical_results\": " << (same ? "true" : "false") << ",\n"
+       << "  \"pdes\": {\"app\": \"" << pdes_app << "\""
+       << ", \"procs\": " << pdes_base.comm.total_procs
+       << ", \"par_cores\": " << pdes_cores
+       << ", \"partitions\": " << pdes_par.partition_events.size()
+       << ", \"windows\": " << pdes_par.windows
+       << ", \"serial_wall_seconds\": " << pdes_serial_m.wall_seconds
+       << ", \"serial_events_per_sec\": " << pdes_serial_m.events_per_sec()
+       << ", \"parallel_wall_seconds\": " << pdes_par_m.wall_seconds
+       << ", \"parallel_events_per_sec\": " << pdes_par_m.events_per_sec()
+       << ", \"speedup\": " << pdes_speedup << ", \"partition_events\": [";
+  for (std::size_t p = 0; p < pdes_par.partition_events.size(); ++p) {
+    json << (p ? ", " : "") << pdes_par.partition_events[p];
+  }
+  json << "], \"identical_results\": " << (pdes_same ? "true" : "false")
+       << "}";
   if (micro_section) {
     json << ",\n  \"micro_event_queue\": " << *micro_section;
   }
@@ -260,6 +337,30 @@ int main(int argc, char** argv) {
   }
   std::printf("speedup: %.2fx, identical results: %s (written to %s)\n",
               speedup, same ? "yes" : "NO", out_path.c_str());
-
-  return same ? 0 : 1;
+  std::printf(
+      "pdes: %s serial %.3fs vs --par-cores=%d %.3fs -> %.2fx "
+      "(%llu windows, %zu partitions), identical results: %s\n",
+      pdes_app.c_str(), pdes_serial_m.wall_seconds, pdes_cores,
+      pdes_par_m.wall_seconds, pdes_speedup,
+      static_cast<unsigned long long>(pdes_par.windows),
+      pdes_par.partition_events.size(), pdes_same ? "yes" : "NO");
+  if (pdes_min > 0) {
+    // The gate asks for real parallel speedup, which needs a hardware
+    // thread per partition worker: on a smaller machine the measurement is
+    // still recorded but the gate cannot be meaningful.
+    if (harness::JobPool::hardware_default() <
+        static_cast<unsigned>(pdes_cores)) {
+      std::fprintf(stderr,
+                   "perf_selfcheck: %u hardware thread(s) < %d partitions; "
+                   "recording the pdes speedup but skipping the "
+                   "--pdes-min-speedup gate\n",
+                   harness::JobPool::hardware_default(), pdes_cores);
+    } else if (pdes_speedup < pdes_min) {
+      std::fprintf(stderr,
+                   "perf_selfcheck: pdes speedup %.2fx below the --pdes-min-"
+                   "speedup=%.2f gate\n", pdes_speedup, pdes_min);
+      return 1;
+    }
+  }
+  return same && pdes_same ? 0 : 1;
 }

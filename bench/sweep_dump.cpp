@@ -14,30 +14,48 @@
 // that is exactly what tools/check_equivalence.sh verifies — but the process
 // exits 1 if any run reports a violation.
 //
+// With --par-cores=N every run executes in PDES mode on N partition worker
+// threads; the dump must still be byte-identical to the serial one, which is
+// what tools/pdes_equivalence.sh verifies.
+//
+// With --apps=a,b,c the sweep is restricted to that comma list (any
+// apps::make_app name, including stress-gen@<seed>).
+//
 // Keep the format append-only: the equivalence check compares byte-for-byte.
+#include <algorithm>
 #include <cstdio>
-#include <cstring>
+#include <sstream>
 
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace svmsim;
 
-  bool check = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--check-consistency") == 0) check = true;
+  harness::Cli cli(argc, argv);
+  const bool check = cli.has("check-consistency");
+  const int par_cores =
+      static_cast<int>(std::max(1L, cli.get_int("par-cores", 1)));
+  std::vector<std::string> app_list = {"fft", "lu", "stress-gen@3"};
+  if (auto apps_arg = cli.get("apps")) {
+    app_list.clear();
+    std::stringstream ss(*apps_arg);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) app_list.push_back(item);
+    }
   }
 
   harness::Sweep sweep(apps::Scale::kTiny);
 
   std::vector<harness::SweepPoint> points;
   for (Protocol proto : {Protocol::kHLRC, Protocol::kAURC}) {
-    for (const char* app : {"fft", "lu", "stress-gen@3"}) {
+    for (const std::string& app : app_list) {
       for (double overhead : {0.0, 1000.0}) {
         SimConfig cfg = bench::base_config();
         cfg.comm.protocol = proto;
         cfg.comm.host_overhead = static_cast<Cycles>(overhead);
         cfg.check.enabled = check;
+        cfg.par_cores = par_cores;
         points.push_back({app, cfg, overhead});
       }
     }

@@ -1,6 +1,7 @@
 #include "core/machine.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "check/checker.hpp"
 #include "engine/task.hpp"
@@ -10,51 +11,170 @@ namespace svmsim {
 
 Machine::Machine(const SimConfig& cfg)
     : cfg_(cfg),
+      parts_(engine::effective_partitions(cfg.par_cores,
+                                          cfg.comm.node_count())),
+      sims_(static_cast<std::size_t>(parts_)),
+      registries_(static_cast<std::size_t>(parts_)),
       stats_(cfg.comm.total_procs),
+      part_counters_(static_cast<std::size_t>(parts_)),
       space_(cfg.comm.node_count(), cfg.comm.page_bytes),
-      shared_(sim_, cfg.comm.node_count(), kMaxLocks),
-      network_(sim_, cfg_.arch) {
+      shared_(sims_.front(), cfg.comm.node_count(), kMaxLocks),
+      network_(sims_.front(), cfg_.arch) {
   if (cfg.comm.total_procs % cfg.comm.procs_per_node != 0) {
     throw std::invalid_argument(
         "total_procs must be a multiple of procs_per_node");
+  }
+  if (parts_ > 1 && cfg_.trace.enabled) {
+    // A trace is one global event stream in emission order; partitions
+    // emitting concurrently would interleave nondeterministically.
+    throw std::invalid_argument("tracing requires par_cores == 1");
   }
 #ifndef SVMSIM_TRACE_DISABLED
   if (cfg_.trace.enabled) {
     tracer_ = std::make_unique<trace::Tracer>(
         cfg_.trace, cfg_.comm.total_procs, cfg_.comm.node_count());
-    sim_.set_tracer(tracer_.get());
+    sims_.front().set_tracer(tracer_.get());
   }
 #endif
 #ifndef SVMSIM_CHECK_DISABLED
   if (cfg_.check.enabled) {
     checker_ = std::make_unique<check::Checker>(cfg_.check, space_);
-    sim_.set_checker(checker_.get());
+    for (auto& s : sims_) s.set_checker(checker_.get());
   }
 #endif
+  for (int p = 0; p < parts_; ++p) {
+    pools_.emplace_back(sims_[static_cast<std::size_t>(p)]);
+  }
+
   const int nodes = cfg_.comm.node_count();
+  if (parts_ > 1) {
+    // Shared structures that partitions touch concurrently take their locks;
+    // everything else is partition-owned (see docs/engine.md, "PDES mode").
+    network_.set_thread_safe();
+    space_.set_thread_safe();
+    for (auto& pl : pools_) pl.set_thread_safe();
+
+    channels_.resize(static_cast<std::size_t>(parts_));
+    for (auto& row : channels_) {
+      row = std::vector<engine::TimedChannel<net::Network::Action>>(
+          static_cast<std::size_t>(parts_));
+    }
+    std::vector<std::vector<net::Network::Route>> routes(
+        static_cast<std::size_t>(nodes),
+        std::vector<net::Network::Route>(static_cast<std::size_t>(nodes)));
+    for (NodeId s = 0; s < nodes; ++s) {
+      const auto ps = static_cast<std::size_t>(partition_of_node(s));
+      for (NodeId d = 0; d < nodes; ++d) {
+        const auto pd = static_cast<std::size_t>(partition_of_node(d));
+        auto& r = routes[static_cast<std::size_t>(s)]
+                        [static_cast<std::size_t>(d)];
+        if (ps == pd) {
+          r.queue = &sims_[pd].queue();
+        } else {
+          r.channel = &channels_[ps][pd];
+        }
+      }
+    }
+    network_.set_routes(std::move(routes));
+  }
+
   nodes_.reserve(static_cast<std::size_t>(nodes));
   agents_.reserve(static_cast<std::size_t>(nodes));
   for (NodeId n = 0; n < nodes; ++n) {
+    const int p = partition_of_node(n);
+    // NIC service loops spawned in the Node constructor must register in
+    // their partition's frame registry: they complete (or are torn down) on
+    // that partition's thread.
+    engine::ScopedFrameRegistry scope(partition_registry(p));
     nodes_.push_back(std::make_unique<Node>(
-        sim_, cfg_, n, cfg_.comm.procs_per_node,
-        n * cfg_.comm.procs_per_node, network_, stats_));
+        sims_[static_cast<std::size_t>(p)], cfg_, n, cfg_.comm.procs_per_node,
+        n * cfg_.comm.procs_per_node, network_, stats_,
+        partition_counters(p)));
   }
   for (NodeId n = 0; n < nodes; ++n) {
+    const int p = partition_of_node(n);
+    engine::ScopedFrameRegistry scope(partition_registry(p));
     Node& nd = *nodes_[static_cast<std::size_t>(n)];
     std::unique_ptr<svm::SvmAgent> agent;
     if (cfg_.comm.protocol == Protocol::kAURC) {
       agent = std::make_unique<svm::AurcAgent>(
-          sim_, cfg_, n, cfg_.comm.procs_per_node, space_, shared_, nd.comm(),
-          stats_.counters());
+          sims_[static_cast<std::size_t>(p)], cfg_, n,
+          cfg_.comm.procs_per_node, space_, shared_,
+          pools_[static_cast<std::size_t>(p)], nd.comm(),
+          partition_counters(p));
     } else {
       agent = std::make_unique<svm::HlrcAgent>(
-          sim_, cfg_, n, cfg_.comm.procs_per_node, space_, shared_, nd.comm(),
-          stats_.counters());
+          sims_[static_cast<std::size_t>(p)], cfg_, n,
+          cfg_.comm.procs_per_node, space_, shared_,
+          pools_[static_cast<std::size_t>(p)], nd.comm(),
+          partition_counters(p));
     }
     agent->install();
     nd.wire(*agent);
     agents_.push_back(std::move(agent));
   }
+}
+
+std::uint64_t Machine::events_fired() {
+  std::uint64_t total = 0;
+  for (auto& s : sims_) total += s.queue().events_fired();
+  return total;
+}
+
+bool Machine::run_parallel(Cycles max_cycles) {
+  if (parts_ == 1) return sims_.front().run_until(max_cycles);
+
+  std::vector<engine::EventQueue*> queues;
+  queues.reserve(static_cast<std::size_t>(parts_));
+  for (auto& s : sims_) queues.push_back(&s.queue());
+
+  // Saved current_slot per partition, restored by worker_end (partition 0
+  // runs on the calling thread, whose slot must survive the run).
+  std::vector<engine::FrameRegistry*> prev_slot(
+      static_cast<std::size_t>(parts_), nullptr);
+
+  engine::WindowDriver::Hooks hooks;
+  hooks.drain = [this](int p) {
+    auto& q = sims_[static_cast<std::size_t>(p)].queue();
+    for (int s = 0; s < parts_; ++s) {
+      if (s == p) continue;
+      channels_[static_cast<std::size_t>(s)][static_cast<std::size_t>(p)]
+          .drain([&q](Cycles when, std::uint64_t key,
+                      net::Network::Action action) {
+            q.schedule_wire(when, key, std::move(action));
+          });
+    }
+  };
+  hooks.worker_begin = [this, &prev_slot](int p) {
+    auto& reg = registries_[static_cast<std::size_t>(p)];
+    reg.bind_to_this_thread();
+    prev_slot[static_cast<std::size_t>(p)] =
+        std::exchange(engine::FrameRegistry::current_slot(), &reg);
+  };
+  hooks.worker_end = [&prev_slot](int p) {
+    engine::FrameRegistry::current_slot() =
+        prev_slot[static_cast<std::size_t>(p)];
+  };
+
+  engine::WindowDriver driver(std::move(queues), network_.min_latency(),
+                              std::move(hooks));
+  bool drained = false;
+  try {
+    drained = driver.run(max_cycles);
+  } catch (...) {
+    windows_ += driver.windows();
+    for (auto& r : registries_) r.bind_to_this_thread();
+    throw;
+  }
+  windows_ += driver.windows();
+  // Quiescent: workers have joined. Take partition state back so teardown
+  // (and any further serial use) happens on this thread.
+  for (auto& r : registries_) r.bind_to_this_thread();
+  for (auto& c : part_counters_) {
+    stats_.counters() += c;
+    c = Counters{};
+  }
+  return drained;
 }
 
 void Machine::debug_write(svm::GlobalAddr a, const void* src,
@@ -67,12 +187,20 @@ void Machine::debug_write(svm::GlobalAddr a, const void* src,
 
 Machine::~Machine() {
   // Scheduled closures (e.g. in-flight transmits of an aborted run) can hold
-  // pooled references into shared_; drop them before the pools go away. Then
-  // destroy still-suspended coroutines (NIC service loops, processes blocked
-  // on a sync object in an abandoned run) so their frames release pooled
-  // refs and frame memory while the objects they reference are still alive.
-  sim_.queue().clear();
-  engine::destroy_lingering_frames();
+  // pooled references into the protocol pools; drop them — queues first,
+  // then in-flight cross-partition channel records — before the pools go
+  // away. Then destroy still-suspended coroutines (NIC service loops,
+  // processes blocked on a sync object in an abandoned run) so their frames
+  // release pooled refs and frame memory while the objects they reference
+  // are still alive.
+  for (auto& s : sims_) s.queue().clear();
+  for (auto& row : channels_) {
+    for (auto& ch : row) ch.clear();
+  }
+  for (auto& r : registries_) {
+    r.bind_to_this_thread();
+    r.destroy_all();
+  }
 }
 
 }  // namespace svmsim

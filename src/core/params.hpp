@@ -151,6 +151,15 @@ struct SimConfig {
   /// (§6): pretend every page fetch is local, i.e. remote fetches are free.
   bool disable_remote_fetches = false;
 
+  /// Worker threads for the conservative node-partitioned PDES mode
+  /// (docs/engine.md): 1 = the serial engine (default); N > 1 splits the
+  /// simulated nodes into up to N contiguous groups, each driven by its own
+  /// scheduler, synchronized in windows of the crossbar wire latency.
+  /// Results are byte-identical to the serial engine for every value.
+  /// Deliberately not part of CommParams: it changes how the simulation is
+  /// executed, never what is simulated, so describe()/sweep keys ignore it.
+  int par_cores = 1;
+
   /// Event-recorder settings (src/trace/). Never affects simulated time:
   /// results are byte-identical with tracing on or off.
   trace::Config trace;

@@ -1,6 +1,7 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 #include "check/checker.hpp"
@@ -11,14 +12,17 @@ namespace svmsim {
 namespace {
 
 engine::Task<void> proc_main(Workload& w, Machine& m, ProcId pid,
-                             int& finished) {
+                             std::atomic<int>& finished) {
   co_await w.body(m, pid);
   // Final global barrier: flushes every node and guarantees quiescence, so
   // validation can read home copies.
   co_await m.agent_of(pid).barrier(m.proc(pid));
   co_await m.proc(pid).drain();
-  m.proc(pid).mark_finished(m.sim().now());
-  ++finished;
+  // The processor's own clock: in PDES mode each partition has its own
+  // simulator (their clocks agree to within one lookahead window, and every
+  // processor's is exact at its own events).
+  m.proc(pid).mark_finished(m.proc(pid).sim().now());
+  finished.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -35,26 +39,37 @@ RunResult run(Workload& w, const SimConfig& cfg, Cycles max_cycles) {
   Machine m(cfg);
   w.setup(m);
 
-  int finished = 0;
+  std::atomic<int> finished{0};
   const int n = m.total_procs();
   for (ProcId pid = 0; pid < n; ++pid) {
+    // The frame must live in the registry of the partition that owns the
+    // processor: the coroutine completes (and is torn down) on that
+    // partition's thread in PDES mode.
+    engine::ScopedFrameRegistry scope(
+        m.partition_registry(m.partition_of_node(m.node_of(pid))));
     engine::spawn(proc_main(w, m, pid, finished));
   }
-  if (!m.sim().run_until(max_cycles)) {
+  const bool drained = m.partitions() > 1 ? m.run_parallel(max_cycles)
+                                          : m.sim().run_until(max_cycles);
+  if (!drained) {
     throw std::runtime_error(w.name() + ": exceeded max simulated cycles");
   }
-  if (finished != n) {
+  if (finished.load(std::memory_order_relaxed) != n) {
     for (NodeId nd = 0; nd < m.node_count(); ++nd) {
       m.agent(nd).dump_lock_state();
     }
     throw std::runtime_error(w.name() + ": simulation deadlocked (" +
-                             std::to_string(finished) + "/" +
+                             std::to_string(finished.load()) + "/" +
                              std::to_string(n) + " processors finished)");
   }
 
   RunResult r;
   r.stats = m.stats();
-  r.events = m.sim().queue().events_fired();
+  r.events = m.events_fired();
+  r.windows = m.windows();
+  for (int p = 0; p < m.partitions(); ++p) {
+    r.partition_events.push_back(m.partition_events(p));
+  }
   for (ProcId pid = 0; pid < n; ++pid) {
     r.time = std::max(r.time, m.proc(pid).finished_at());
   }

@@ -38,6 +38,22 @@ void HeapScheduler::schedule_at(Cycles when, Action action) {
   std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
 }
 
+void HeapScheduler::schedule_wire(Cycles when, std::uint64_t key,
+                                  Action action) {
+  assert(when > now_ && "wire events must be strictly in the future");
+  wire_.push_back(WireEvent{when, key, std::move(action)});
+  std::push_heap(wire_.begin(), wire_.end(), WireFiresLater{});
+}
+
+void HeapScheduler::fire_wire() {
+  std::pop_heap(wire_.begin(), wire_.end(), WireFiresLater{});
+  WireEvent ev = std::move(wire_.back());
+  wire_.pop_back();
+  now_ = ev.when;
+  ++fired_;
+  ev.action();
+}
+
 HeapScheduler::Event HeapScheduler::pop_top() {
   std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
   Event ev = std::move(heap_.back());
@@ -46,6 +62,10 @@ HeapScheduler::Event HeapScheduler::pop_top() {
 }
 
 bool HeapScheduler::step() {
+  if (wire_first()) {
+    fire_wire();
+    return true;
+  }
   if (heap_.empty()) return false;
   Event ev = pop_top();
   now_ = ev.when;
@@ -60,11 +80,12 @@ void HeapScheduler::run_until_idle() {
 }
 
 bool HeapScheduler::run_until(Cycles deadline) {
-  while (!heap_.empty()) {
-    if (heap_.front().when > deadline) return false;
+  for (;;) {
+    const Cycles next = next_time();
+    if (next == kNever) return true;
+    if (next > deadline) return false;
     step();
   }
-  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -315,6 +336,22 @@ void TieredScheduler::fire_heap() {
   release(n);
 }
 
+void TieredScheduler::schedule_wire(Cycles when, std::uint64_t key,
+                                    Action action) {
+  assert(when > now_ && "wire events must be strictly in the future");
+  wire_.push_back(WireEvent{when, key, std::move(action)});
+  std::push_heap(wire_.begin(), wire_.end(), WireFiresLater{});
+}
+
+void TieredScheduler::fire_wire() {
+  std::pop_heap(wire_.begin(), wire_.end(), WireFiresLater{});
+  WireEvent ev = std::move(wire_.back());
+  wire_.pop_back();
+  now_ = ev.when;
+  ++fired_;
+  ev.action();
+}
+
 void TieredScheduler::fire_next() {
   if (lane_.head != nullptr) [[likely]] {
     if (heap_.empty()) [[likely]] {
@@ -332,7 +369,14 @@ void TieredScheduler::fire_next() {
 }
 
 bool TieredScheduler::step() {
-  if (lane_.head == nullptr && !advance() && heap_.empty()) return false;
+  const bool have_normal =
+      !(lane_.head == nullptr && !advance() && heap_.empty());
+  if (!wire_.empty() &&
+      (!have_normal || wire_.front().when <= normal_next_time())) {
+    fire_wire();
+    return true;
+  }
+  if (!have_normal) return false;
   fire_next();
   return true;
 }
@@ -344,19 +388,31 @@ void TieredScheduler::run_until_idle() {
 
 bool TieredScheduler::run_until(Cycles deadline) {
   for (;;) {
-    if (lane_.head == nullptr && !advance() && heap_.empty()) return true;
-    Cycles next;
-    if (lane_.head != nullptr) {
-      next = lane_.head->when;
-      if (!heap_.empty() && heap_.front()->when < next) {
-        next = heap_.front()->when;
-      }
-    } else {
-      next = heap_.front()->when;
+    const bool have_normal =
+        !(lane_.head == nullptr && !advance() && heap_.empty());
+    Cycles next = have_normal ? normal_next_time() : kNever;
+    bool wire = false;
+    if (!wire_.empty() && wire_.front().when <= next) {
+      next = wire_.front().when;
+      wire = true;
     }
+    if (next == kNever) return true;
     if (next > deadline) return false;
-    fire_next();
+    if (wire) {
+      fire_wire();
+    } else {
+      fire_next();
+    }
   }
+}
+
+Cycles TieredScheduler::next_time() {
+  Cycles next = kNever;
+  if (!(lane_.head == nullptr && !advance() && heap_.empty())) {
+    next = normal_next_time();
+  }
+  if (!wire_.empty() && wire_.front().when < next) next = wire_.front().when;
+  return next;
 }
 
 void TieredScheduler::release_list(List& l) noexcept {
@@ -374,6 +430,7 @@ void TieredScheduler::clear() noexcept {
   lane_size_ = 0;
   for (Node* n : heap_) release(n);
   heap_.clear();
+  wire_.clear();
   if (wheel_count_ > 0) {
     for (int level = 0; level < kLevels; ++level) {
       for (std::size_t w = 0; w < kWords; ++w) {

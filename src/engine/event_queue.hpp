@@ -25,6 +25,17 @@
 // typical captures) and drained storage is recycled through a thread-local
 // spare slot so back-to-back simulations on one thread skip the allocator
 // warm-up entirely.
+//
+// Wire band: besides the (time, seq) order, both backends carry a second
+// priority class for cross-node packet deliveries, scheduled with
+// schedule_wire(when, key). Wire events order by (time, key) — the key is
+// derived from packet content (dst node, src node, NI index, per-link
+// sequence), not from global insertion order — and at equal time the whole
+// wire band fires before any (time, seq) event. This makes the delivery
+// order of network traffic a pure function of each sender's local history,
+// which is what lets the node-partitioned parallel mode (docs/engine.md,
+// "PDES mode") replay the exact serial order without ever observing a
+// global sequence counter.
 #pragma once
 
 #include <cassert>
@@ -59,6 +70,24 @@ struct FiresLater {
   }
 };
 
+/// A wire-band event: a cross-node packet delivery ordered by (time, key)
+/// instead of (time, seq). See the file comment for why the key is content-
+/// derived. Wire events are always strictly in the future (the network's
+/// latency floor is >= 1 cycle), which schedule_wire() asserts.
+struct WireEvent {
+  Cycles when = 0;
+  std::uint64_t key = 0;
+  BasicInlineAction<24> action;
+};
+
+/// Heap comparator for the wire band: "a fires later than b" by (time, key).
+struct WireFiresLater {
+  bool operator()(const WireEvent& a, const WireEvent& b) const noexcept {
+    if (a.when != b.when) return a.when > b.when;
+    return a.key > b.key;
+  }
+};
+
 /// The original binary-heap scheduler: one std::vector driven by
 /// std::push_heap/pop_heap, O(log n) comparator churn per event.
 class HeapScheduler {
@@ -85,12 +114,28 @@ class HeapScheduler {
   /// Schedule `action` at the current time (equivalent to schedule_in(0)).
   void schedule_now(Action action) { schedule_at(now_, std::move(action)); }
 
+  /// Schedule a wire-band event at absolute time `when` (must be strictly
+  /// after now()): fires before any (time, seq) event at the same time,
+  /// ordered among wire events by `key`. See the file comment.
+  void schedule_wire(Cycles when, std::uint64_t key, Action action);
+
   /// Pre-size the event storage (events, not bytes).
   void reserve(std::size_t events) { heap_.reserve(events); }
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return heap_.size() + wire_.size();
+  }
   [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+
+  /// Time of the earliest pending event (either band), or kNever if idle.
+  /// Never fires anything and never moves now().
+  [[nodiscard]] Cycles next_time() const noexcept {
+    Cycles next = kNever;
+    if (!heap_.empty()) next = heap_.front().when;
+    if (!wire_.empty() && wire_.front().when < next) next = wire_.front().when;
+    return next;
+  }
 
   /// Run a single event; returns false if none pending.
   bool step();
@@ -105,7 +150,10 @@ class HeapScheduler {
   /// Drop all pending events without running them. Used when tearing down a
   /// simulation that stopped early: scheduled closures may hold pooled
   /// references, which must die before the pools they point into.
-  void clear() noexcept { heap_.clear(); }
+  void clear() noexcept {
+    heap_.clear();
+    wire_.clear();
+  }
 
  private:
   using Event = SchedulerEvent;
@@ -113,10 +161,18 @@ class HeapScheduler {
   /// Pop the earliest event off the heap (caller checked non-empty).
   Event pop_top();
 
+  /// True if the wire band holds the next event to fire (ties go to wire).
+  [[nodiscard]] bool wire_first() const noexcept {
+    if (wire_.empty()) return false;
+    return heap_.empty() || wire_.front().when <= heap_.front().when;
+  }
+  void fire_wire();
+
   /// Per-thread recycled event storage (see event_queue.cpp).
   static std::vector<Event>& spare_slot();
 
   std::vector<Event> heap_;
+  std::vector<WireEvent> wire_;  // min-heap by (when, key)
   Cycles now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
@@ -188,14 +244,25 @@ class TieredScheduler {
     }
   }
 
+  /// Schedule a wire-band event at absolute time `when` (must be strictly
+  /// after now()): fires before any (time, seq) event at the same time,
+  /// ordered among wire events by `key`. See the file comment.
+  void schedule_wire(Cycles when, std::uint64_t key, Action action);
+
   /// Pre-size the event node pool (events, not bytes).
   void reserve(std::size_t events);
 
   [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
   [[nodiscard]] std::size_t pending() const noexcept {
-    return lane_size_ + wheel_count_ + heap_.size();
+    return lane_size_ + wheel_count_ + heap_.size() + wire_.size();
   }
   [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+
+  /// Time of the earliest pending event (either band), or kNever if idle.
+  /// Never fires anything and never moves now(); may sweep the wheel cursor
+  /// forward (advance() splices the next occupied tick onto the lane, which
+  /// is a pure representation change).
+  [[nodiscard]] Cycles next_time();
 
   /// Run a single event; returns false if none pending.
   bool step();
@@ -291,7 +358,19 @@ class TieredScheduler {
   void fire_lane();
   void fire_heap();
   void fire_next();                   // caller ensured lane or heap nonempty
+  void fire_wire();                   // caller ensured wire band nonempty
   void release_list(List& l) noexcept;
+
+  /// Time of the earliest (time, seq)-band event; caller ensured the lane
+  /// or the heap tier is nonempty (i.e. advance() already ran).
+  [[nodiscard]] Cycles normal_next_time() const noexcept {
+    if (lane_.head != nullptr) {
+      Cycles t = lane_.head->when;
+      if (!heap_.empty() && heap_.front()->when < t) t = heap_.front()->when;
+      return t;
+    }
+    return heap_.front()->when;
+  }
 
   [[nodiscard]] bool bit_set(int level, std::size_t idx) const noexcept {
     return (bits_[level][idx >> 6] >> (idx & 63)) & 1u;
@@ -304,6 +383,7 @@ class TieredScheduler {
   std::uint32_t counts_[kLevels][kSlots] = {};
   std::uint64_t bits_[kLevels][kWords] = {};
   std::vector<Node*> heap_;           // tier 3: overflow/out-of-band heap
+  std::vector<WireEvent> wire_;       // wire band: min-heap by (when, key)
   Cycles now_ = 0;
   Cycles cursor_ = 0;                 // first time not yet swept to the lane
   std::size_t wheel_count_ = 0;

@@ -1,0 +1,189 @@
+#include "engine/partition.hpp"
+
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace svmsim::engine {
+
+namespace {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// A generation-counter phase barrier with two wait strategies. The
+/// simulation crosses one window every lookahead cycles — tens of thousands
+/// of syncs per run — and a futex-parked barrier costs microseconds per
+/// sync, which swamps the sub-microsecond of event work a partition does
+/// per window. When every partition thread can own a hardware thread the
+/// barrier spins (~100ns per 4-thread sync); when the machine is
+/// oversubscribed it parks on a condition variable instead, because a spin
+/// loop that must be scheduled out to let the last arriver in turns every
+/// sync into a storm of yields.
+///
+/// Reuse safety: the driver alternates two of these, so every thread must
+/// pass barrier B before re-entering barrier A — no thread can re-arrive at
+/// a barrier another thread is still waiting in, which is why one counter
+/// and one generation word suffice.
+///
+/// Ordering (spin path): each arrival's fetch_add(acq_rel) joins the
+/// counter's release sequence, so the last arriver's increment synchronizes
+/// with every earlier one — the completion function reads all pre-barrier
+/// writes. Its own writes are released by the generation bump and acquired
+/// by each waiter's spin load. (Blocking path: the mutex orders everything.)
+class PhaseBarrier {
+ public:
+  PhaseBarrier(int n, bool spin) noexcept : n_(n), spin_(spin) {}
+
+  /// Block until all n threads arrive; the last to arrive runs `completion`
+  /// exclusively before releasing the others (std::barrier's completion
+  /// contract).
+  template <typename F>
+  void arrive_and_wait(F&& completion) noexcept {
+    if (spin_) {
+      const std::uint64_t gen = gen_.load(std::memory_order_acquire);
+      if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+        completion();
+        arrived_.store(0, std::memory_order_relaxed);
+        gen_.store(gen + 1, std::memory_order_release);
+      } else {
+        while (gen_.load(std::memory_order_acquire) == gen) cpu_relax();
+      }
+      return;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    const std::uint64_t gen = gen_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_relaxed) + 1 == n_) {
+      completion();
+      arrived_.store(0, std::memory_order_relaxed);
+      gen_.store(gen + 1, std::memory_order_relaxed);
+      lk.unlock();
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [this, gen] {
+        return gen_.load(std::memory_order_relaxed) != gen;
+      });
+    }
+  }
+
+  void arrive_and_wait() noexcept {
+    arrive_and_wait([] {});
+  }
+
+ private:
+  const int n_;
+  const bool spin_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> gen_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace
+
+WindowDriver::WindowDriver(std::vector<EventQueue*> queues, Cycles lookahead,
+                           Hooks hooks)
+    : queues_(std::move(queues)),
+      lookahead_(lookahead),
+      hooks_(std::move(hooks)) {
+  assert(!queues_.empty());
+  assert(lookahead_ >= 1 && "conservative windows need positive lookahead");
+}
+
+bool WindowDriver::run(Cycles max_cycles) {
+  const int parts = static_cast<int>(queues_.size());
+  next_.assign(static_cast<std::size_t>(parts), kNever);
+  stop_ = false;
+  drained_ = false;
+  windows_ = 0;
+  failed_.store(false, std::memory_order_relaxed);
+  error_ = nullptr;
+  std::mutex error_mu;
+
+  // Phase completion: runs on exactly one thread between "everyone published
+  // next_" and "everyone observes the new window"; the barrier sequences its
+  // writes against both sides.
+  auto open_window = [this, max_cycles]() noexcept {
+    if (failed_.load(std::memory_order_relaxed)) {
+      stop_ = true;
+      return;
+    }
+    Cycles t = kNever;
+    for (const Cycles c : next_) {
+      if (c < t) t = c;
+    }
+    if (t == kNever) {
+      stop_ = true;
+      drained_ = true;
+    } else if (t > max_cycles) {
+      stop_ = true;  // next event beyond the horizon: deadline, not drained
+    } else {
+      // Never fire past max_cycles (matches serial run_until semantics).
+      const Cycles end = t + lookahead_;
+      window_end_ = end - 1 < max_cycles ? end : max_cycles + 1;
+      ++windows_;
+    }
+  };
+  // Spin only when every partition worker can plausibly own a hardware
+  // thread; a concurrent --jobs pool shares the same budget (bench_common
+  // divides the default job count by par_cores for exactly this reason).
+  const bool spin =
+      std::thread::hardware_concurrency() >= static_cast<unsigned>(parts);
+  PhaseBarrier sync(parts, spin);
+  PhaseBarrier quiesce(parts, spin);
+
+  auto capture = [&](std::exception_ptr e) {
+    const std::lock_guard<std::mutex> g(error_mu);
+    if (!error_) error_ = std::move(e);
+    failed_.store(true, std::memory_order_relaxed);
+  };
+
+  auto body = [&](int p) {
+    if (hooks_.worker_begin) hooks_.worker_begin(p);
+    bool dead = false;
+    for (;;) {
+      if (!dead) {
+        try {
+          hooks_.drain(p);
+          next_[static_cast<std::size_t>(p)] = queues_[p]->next_time();
+        } catch (...) {
+          capture(std::current_exception());
+          dead = true;
+        }
+      }
+      if (dead) next_[static_cast<std::size_t>(p)] = kNever;
+      sync.arrive_and_wait(open_window);
+      if (stop_) break;
+      if (!dead) {
+        try {
+          queues_[p]->run_until(window_end_ - 1);
+        } catch (...) {
+          capture(std::current_exception());
+          dead = true;
+        }
+      }
+      quiesce.arrive_and_wait();
+    }
+    if (hooks_.worker_end) hooks_.worker_end(p);
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(parts) - 1);
+  for (int p = 1; p < parts; ++p) {
+    workers.emplace_back(body, p);
+  }
+  body(0);
+  for (std::thread& w : workers) w.join();
+
+  if (error_) std::rethrow_exception(error_);
+  return drained_;
+}
+
+}  // namespace svmsim::engine

@@ -1,0 +1,101 @@
+// Conservative windowed synchronization for the node-partitioned PDES mode.
+//
+// Each partition owns one EventQueue and one worker thread. The driver runs
+// the classic conservative window (YAWNS-style) protocol:
+//
+//   1. every partition drains its incoming cross-partition channels into its
+//      queue and publishes the time of its earliest pending event,
+//   2. a barrier computes the global minimum T; the window is [T, T + L)
+//      where L is the lookahead — the network's minimum inter-node latency
+//      (the crossbar's fixed wire time, ArchParams::wire_latency_cycles),
+//   3. every partition runs its queue up to T + L - 1 and meets a second
+//      barrier before the next round.
+//
+// Safety: any packet sent during [T, T+L) arrives at >= T + L, i.e. never
+// inside the window that produced it, so draining channels at each window
+// start delivers every record before its timestamp can be reached. Progress:
+// the partition holding the global minimum fires at least one event per
+// window. Determinism: a partition is a sequential deterministic machine;
+// its only external input is the set of channel records, whose content and
+// delivery order (via the scheduler's keyed wire band) are independent of
+// wall-clock interleaving — so the parallel run replays the serial order
+// exactly (docs/engine.md, "PDES mode").
+//
+// The two barriers also carry all inter-thread happens-before edges: channel
+// production (during a window) and consumption (at the next window start)
+// never overlap, so the channels themselves need no atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "engine/event_queue.hpp"
+#include "engine/types.hpp"
+
+namespace svmsim::engine {
+
+/// Number of partitions actually used for `par_cores` over `node_count`
+/// simulated nodes: at least one, never more than one per node.
+[[nodiscard]] constexpr int effective_partitions(int par_cores,
+                                                 int node_count) noexcept {
+  if (par_cores < 1) return 1;
+  return par_cores < node_count ? par_cores : node_count;
+}
+
+/// Contiguous block partition map: node `n` of `node_count` belongs to
+/// partition floor(n * parts / node_count). Contiguity keeps a node group's
+/// procs, NICs and pools on one worker.
+[[nodiscard]] constexpr int partition_of(int node, int node_count,
+                                         int parts) noexcept {
+  return static_cast<int>(static_cast<std::int64_t>(node) * parts /
+                          node_count);
+}
+
+/// Runs a set of partition EventQueues under the windowed protocol above.
+/// Partition 0 runs on the calling thread; partitions 1..P-1 each get a
+/// worker thread for the duration of run().
+class WindowDriver {
+ public:
+  struct Hooks {
+    /// Deliver every matured cross-partition record into partition p's
+    /// queue (schedule_wire). Called on p's worker at each window start.
+    std::function<void(int)> drain;
+    /// Called once on p's worker thread before the first window — bind
+    /// partition-owned thread-affine state (frame registries) to it.
+    std::function<void(int)> worker_begin;
+    /// Called once on p's worker thread after the last window.
+    std::function<void(int)> worker_end;
+  };
+
+  WindowDriver(std::vector<EventQueue*> queues, Cycles lookahead, Hooks hooks);
+
+  /// Run all partitions until globally idle or until the next window would
+  /// start beyond `max_cycles`. Returns true if the queues drained (mirrors
+  /// EventQueue::run_until). No event past `max_cycles` is fired. An
+  /// exception thrown by an event action aborts the run and rethrows here.
+  bool run(Cycles max_cycles);
+
+  /// Windows executed by the last run() (the sync-overhead figure reported
+  /// by perf_selfcheck).
+  [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
+
+ private:
+  std::vector<EventQueue*> queues_;
+  Cycles lookahead_;
+  Hooks hooks_;
+
+  // Per-run window state: written by workers before the sync barrier and by
+  // its completion function, which is all the ordering they need.
+  std::vector<Cycles> next_;
+  Cycles window_end_ = 0;
+  bool stop_ = false;
+  bool drained_ = false;
+  std::uint64_t windows_ = 0;
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+};
+
+}  // namespace svmsim::engine

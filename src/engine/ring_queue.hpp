@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "engine/types.hpp"
+
 namespace svmsim::engine {
 
 template <typename T>
@@ -70,6 +72,61 @@ class RingQueue {
   std::vector<T> buf_;  // capacity is always a power of two
   std::size_t head_ = 0;
   std::size_t size_ = 0;
+};
+
+/// A timestamped single-producer/single-consumer channel: the cross-partition
+/// link of the PDES mode (docs/engine.md). The producing partition pushes
+/// (when, key, item) records during its window; the consuming partition
+/// drains the whole channel at its next window boundary. The WindowDriver's
+/// barriers separate the two phases, so no atomics are needed — the barrier
+/// itself provides the happens-before edge between producer and consumer.
+///
+/// min_pending() caches the smallest pending timestamp so the consumer can
+/// assert the conservative invariant (everything in flight is at or beyond
+/// the next window start) in O(1) without walking the queue.
+template <typename T>
+class TimedChannel {
+ public:
+  struct Entry {
+    Cycles when = 0;
+    std::uint64_t key = 0;
+    T item{};
+  };
+
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+
+  /// Smallest timestamp currently in flight, or kNever when empty.
+  [[nodiscard]] Cycles min_pending() const noexcept { return min_pending_; }
+
+  /// Producer side: enqueue a record for delivery at absolute time `when`.
+  void push(Cycles when, std::uint64_t key, T item) {
+    if (when < min_pending_) min_pending_ = when;
+    q_.push_back(Entry{when, key, std::move(item)});
+  }
+
+  /// Consumer side: pop every record in FIFO (production) order. `f` is
+  /// called as f(when, key, T&&); relative delivery order among equal
+  /// timestamps is re-established by the scheduler's wire band, so FIFO
+  /// here is only a transport order.
+  template <typename F>
+  void drain(F&& f) {
+    while (!q_.empty()) {
+      Entry& e = q_.front();
+      f(e.when, e.key, std::move(e.item));
+      q_.pop_front();
+    }
+    min_pending_ = kNever;
+  }
+
+  void clear() {
+    q_.clear();
+    min_pending_ = kNever;
+  }
+
+ private:
+  RingQueue<Entry> q_;
+  Cycles min_pending_ = kNever;
 };
 
 }  // namespace svmsim::engine

@@ -12,6 +12,7 @@
 #include <coroutine>
 #include <exception>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "engine/frame_pool.hpp"
@@ -182,14 +183,125 @@ class [[nodiscard]] Task<void> {
 
 namespace detail {
 
+/// Intrusive link base for a spawned (detached) coroutine frame; the handle
+/// lets FrameRegistry::destroy_all() destroy the frame through its promise.
+struct FrameNode {
+  FrameNode* prev = nullptr;
+  FrameNode* next = nullptr;
+  std::coroutine_handle<> handle{};
+};
+
+}  // namespace detail
+
+/// Tracks the live spawned coroutines of one simulation partition.
+///
+/// Detached frames used to thread themselves on a bare thread_local list,
+/// which silently corrupted both lists when a frame spawned on one thread
+/// completed (and so unlinked itself) on another — exactly what the PDES
+/// mode does when a Machine is built on the caller's thread and run on
+/// partition worker threads. Each promise now records the registry that was
+/// current at spawn time and always unlinks from *that* registry; a debug
+/// owner-thread assert enforces that link/unlink only ever happen on the
+/// thread the registry is currently bound to, so a cross-thread release is
+/// a loud assert instead of silent list corruption
+/// (tests/test_partition.cpp has the regression).
+///
+/// Threading contract: a registry is single-threaded at any instant. Bind it
+/// to a thread with bind_to_this_thread() only at quiescent points (before a
+/// run, at window barriers, after workers join) — ownership transfers, it is
+/// never shared.
+class FrameRegistry {
+ public:
+  FrameRegistry() noexcept { bind_to_this_thread(); }
+  FrameRegistry(const FrameRegistry&) = delete;
+  FrameRegistry& operator=(const FrameRegistry&) = delete;
+
+  /// The per-thread default registry (serial mode and tests).
+  static FrameRegistry& tls() noexcept {
+    thread_local FrameRegistry reg;
+    return reg;
+  }
+
+  /// The override slot: when non-null, spawn() registers frames here
+  /// instead of in tls(). Installed via ScopedFrameRegistry.
+  static FrameRegistry*& current_slot() noexcept {
+    thread_local FrameRegistry* cur = nullptr;
+    return cur;
+  }
+
+  /// Registry new spawns land in on this thread.
+  static FrameRegistry& current() noexcept {
+    FrameRegistry* cur = current_slot();
+    return cur != nullptr ? *cur : tls();
+  }
+
+  /// Transfer ownership to the calling thread. Only legal while no other
+  /// thread can touch this registry (see the threading contract above).
+  void bind_to_this_thread() noexcept {
+#ifndef NDEBUG
+    owner_ = std::this_thread::get_id();
+#endif
+  }
+
+  void link(detail::FrameNode* n) noexcept {
+    assert(owner_ == std::this_thread::get_id() &&
+           "frame spawned off its registry's owning thread");
+    n->next = head_;
+    if (head_ != nullptr) head_->prev = n;
+    head_ = n;
+  }
+
+  void unlink(detail::FrameNode* n) noexcept {
+    assert(owner_ == std::this_thread::get_id() &&
+           "frame released off its registry's owning thread");
+    if (n->prev != nullptr) {
+      n->prev->next = n->next;
+    } else {
+      head_ = n->next;
+    }
+    if (n->next != nullptr) n->next->prev = n->prev;
+  }
+
+  /// Destroy every spawned coroutine still suspended in this registry. Call
+  /// only while the simulation is being torn down (after the event queues
+  /// are cleared, before the objects the frames reference die): the frames
+  /// never run again, only their destructors do.
+  void destroy_all() noexcept {
+    while (head_ != nullptr) head_->handle.destroy();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return head_ == nullptr; }
+
+ private:
+  detail::FrameNode* head_ = nullptr;
+#ifndef NDEBUG
+  std::thread::id owner_{};
+#endif
+};
+
+/// RAII: route spawn() on this thread into `reg` for the current scope.
+class ScopedFrameRegistry {
+ public:
+  explicit ScopedFrameRegistry(FrameRegistry& reg) noexcept
+      : prev_(std::exchange(FrameRegistry::current_slot(), &reg)) {}
+  ~ScopedFrameRegistry() { FrameRegistry::current_slot() = prev_; }
+  ScopedFrameRegistry(const ScopedFrameRegistry&) = delete;
+  ScopedFrameRegistry& operator=(const ScopedFrameRegistry&) = delete;
+
+ private:
+  FrameRegistry* prev_;
+};
+
+namespace detail {
+
 /// Self-destroying top-level coroutine used by spawn(). Live frames are
-/// threaded on a per-thread intrusive list so Machine teardown can destroy
-/// loops and blocked processes that never complete (NIC service loops,
-/// workloads parked on a sync object when a run is abandoned); the frames
+/// threaded on their FrameRegistry so Machine teardown can destroy loops
+/// and blocked processes that never complete (NIC service loops, workloads
+/// parked on a sync object when a run is abandoned); the frames
 /// transitively own their child Task frames, which release pooled refs and
 /// other resources through ordinary destructors.
 struct Detached {
-  struct promise_type {
+  struct promise_type : FrameNode {
 #ifndef SVMSIM_NO_FRAME_POOL
     static void* operator new(std::size_t n) {
       return FramePool::tls().allocate(n);
@@ -198,28 +310,13 @@ struct Detached {
       FramePool::tls().deallocate(p, n);
     }
 #endif
-    promise_type* prev = nullptr;
-    promise_type* next = nullptr;
+    FrameRegistry* registry;
 
-    static promise_type*& live_head() noexcept {
-      thread_local promise_type* head = nullptr;
-      return head;
+    promise_type() noexcept : registry(&FrameRegistry::current()) {
+      handle = std::coroutine_handle<promise_type>::from_promise(*this);
+      registry->link(this);
     }
-
-    promise_type() noexcept {
-      promise_type*& head = live_head();
-      next = head;
-      if (head) head->prev = this;
-      head = this;
-    }
-    ~promise_type() {
-      if (prev) {
-        prev->next = next;
-      } else {
-        live_head() = next;
-      }
-      if (next) next->prev = prev;
-    }
+    ~promise_type() { registry->unlink(this); }
 
     Detached get_return_object() noexcept { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
@@ -238,19 +335,14 @@ inline Detached drive(Task<void> task) { co_await std::move(task); }
 }  // namespace detail
 
 /// Start `task` as an independent simulated process. The coroutine frame
-/// frees itself on completion.
+/// frees itself on completion and is tracked by the thread's current
+/// FrameRegistry until then.
 inline void spawn(Task<void> task) { detail::drive(std::move(task)); }
 
-/// Destroy every spawned coroutine still suspended on this thread. Call only
-/// while the whole simulation is being torn down (after the event queue is
-/// cleared, before the objects the frames reference die): the frames never
-/// run again, only their destructors do. Assumes the one-machine-per-thread
-/// discipline of the runner and JobPool workers.
+/// Destroy every spawned coroutine still suspended in this thread's current
+/// registry. See FrameRegistry::destroy_all() for the teardown contract.
 inline void destroy_lingering_frames() noexcept {
-  using Promise = detail::Detached::promise_type;
-  while (Promise* p = Promise::live_head()) {
-    std::coroutine_handle<Promise>::from_promise(*p).destroy();
-  }
+  FrameRegistry::current().destroy_all();
 }
 
 }  // namespace svmsim::engine

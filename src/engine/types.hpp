@@ -11,6 +11,10 @@ namespace svmsim {
 /// convention throughout.
 using Cycles = std::uint64_t;
 
+/// Sentinel "no pending event" timestamp (all-ones). Returned by scheduler
+/// and channel peek operations; no real event ever fires at this time.
+inline constexpr Cycles kNever = ~Cycles{0};
+
 /// Identifier types. Nodes are SMP boxes; processors are numbered globally
 /// (0 .. total_processors-1) and map to nodes in round-robin blocks.
 using NodeId = int;

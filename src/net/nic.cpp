@@ -96,9 +96,10 @@ engine::Task<void> Nic::tx_loop() {
       p.dst = msg->dst;
       p.nic_index = index_;
       p.bytes = pkt_bytes;
+      p.wire_seq = wire_seq_++;
       p.last = remaining == 0;
       p.msg = msg;
-      network_->transmit(std::move(p));
+      network_->transmit(std::move(p), sim_->now());
     }
     msg.reset();
     send_q_bytes_ -= wire;
@@ -146,28 +147,51 @@ engine::Task<void> Nic::rx_loop() {
   }
 }
 
-void Network::transmit(Packet p) {
+void Network::transmit(Packet p, Cycles now) {
   const auto serialization =
       static_cast<Cycles>(static_cast<double>(p.bytes) /
                           arch_->link_bytes_per_cycle);
-  const Cycles latency = arch_->wire_latency_cycles + serialization;
+  Cycles latency = arch_->wire_latency_cycles + serialization;
+  // Keep deliveries strictly in the future: min_latency() is the PDES
+  // lookahead, and the wire band requires when > now at the destination.
+  if (latency < 1) latency = 1;
+  const Cycles when = now + latency;
   Nic* dst = nics_.at(static_cast<std::size_t>(p.dst))
                  .at(static_cast<std::size_t>(p.nic_index));
+  // (dst, src, NI, launch seq): a total order on same-cycle deliveries that
+  // only depends on the sending NI's local history — identical in serial
+  // and partitioned runs.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.dst)) << 52) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.src)) << 40) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.nic_index))
+       << 32) |
+      p.wire_seq;
   // The closure is kept to (pointer, ref, u32, bool) so it fits the event
   // queue's 24-byte inline action storage: no allocation per packet hop.
   const auto bytes32 = static_cast<std::uint32_t>(p.bytes);
-  sim_->queue().schedule_in(
-      latency,
-      [dst, msg = std::move(p.msg), bytes32, last = p.last]() mutable {
-        Packet q;
-        q.src = msg->src;
-        q.dst = msg->dst;
-        q.nic_index = dst->index();
-        q.bytes = bytes32;
-        q.last = last;
-        q.msg = std::move(msg);
-        dst->packet_arrived(std::move(q));
-      });
+  Action deliver = [dst, msg = std::move(p.msg), bytes32,
+                    last = p.last]() mutable {
+    Packet q;
+    q.src = msg->src;
+    q.dst = msg->dst;
+    q.nic_index = dst->index();
+    q.bytes = bytes32;
+    q.last = last;
+    q.msg = std::move(msg);
+    dst->packet_arrived(std::move(q));
+  };
+  if (!routes_.empty()) {
+    const Route& r = routes_[static_cast<std::size_t>(p.src)]
+                            [static_cast<std::size_t>(p.dst)];
+    if (r.channel != nullptr) {
+      r.channel->push(when, key, std::move(deliver));
+    } else {
+      r.queue->schedule_wire(when, key, std::move(deliver));
+    }
+    return;
+  }
+  sim_->queue().schedule_wire(when, key, std::move(deliver));
 }
 
 }  // namespace svmsim::net

@@ -19,6 +19,7 @@
 // sized to fit the event queue's inline action storage.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 
@@ -44,6 +45,7 @@ struct Packet {
   NodeId dst = -1;
   int nic_index = 0;        ///< which of the destination node's NIs receives
   std::uint64_t bytes = 0;  ///< wire size of this packet (payload + header)
+  std::uint32_t wire_seq = 0;  ///< per-source-NI launch sequence (wire key)
   bool last = false;        ///< final fragment of its message
   MessageRef msg;
 };
@@ -96,6 +98,7 @@ class Nic {
 
   engine::RingQueue<Message> send_q_;
   std::uint64_t send_q_bytes_ = 0;
+  std::uint32_t wire_seq_ = 0;  ///< launch counter for this NI's packets
   engine::Semaphore send_items_;
   engine::Trigger send_space_;
 
@@ -108,8 +111,23 @@ class Nic {
 /// in links and switches is deliberately not modeled (paper §2). Also hosts
 /// the message pool for in-flight traffic — the Network is constructed
 /// before (so destroyed after) every Nic that draws from it.
+///
+/// Deliveries go through the scheduler's wire band, keyed by (dst node,
+/// src node, NI index, per-NI launch sequence). The key is a pure function
+/// of the sending NI's local history, so serial and PDES runs deliver
+/// same-cycle packets in the same order (docs/engine.md, "PDES mode").
 class Network {
  public:
+  using Action = engine::EventQueue::Action;
+
+  /// Where deliveries to one destination node go, from the perspective of
+  /// the source node's partition: directly onto a scheduler (same
+  /// partition, or every node in serial mode) or across a channel.
+  struct Route {
+    engine::EventQueue* queue = nullptr;
+    engine::TimedChannel<Action>* channel = nullptr;
+  };
+
   Network(engine::Simulator& sim, const ArchParams& arch)
       : sim_(&sim), arch_(&arch) {}
 
@@ -117,6 +135,7 @@ class Network {
   /// several NIs; packets address (node, index).
   void add_nic(Nic& nic) {
     const auto n = static_cast<std::size_t>(nic.id());
+    assert(nic.id() < 4096 && nic.index() < 256 && "wire key field overflow");
     if (nics_.size() <= n) nics_.resize(n + 1);
     const auto k = static_cast<std::size_t>(nic.index());
     if (nics_[n].size() <= k) nics_[n].resize(k + 1, nullptr);
@@ -124,18 +143,44 @@ class Network {
     nic.attach(*this);
   }
 
+  /// PDES wiring (set once by the Machine before any traffic): delivery
+  /// route per [src node][dst node]. When unset, every delivery schedules
+  /// on the construction simulator (standalone and serial use).
+  void set_routes(std::vector<std::vector<Route>> routes) {
+    routes_ = std::move(routes);
+  }
+
+  /// PDES wiring: in-flight messages recycle on the receiving partition's
+  /// thread, so the pool must take its freelist lock.
+  void set_thread_safe() { msg_pool_.set_thread_safe(true); }
+
+  /// Minimum cross-node delivery latency — the PDES lookahead floor. Every
+  /// packet spends the wire time plus at least its header's serialization at
+  /// link bandwidth in flight (transmit() computes wire + bytes/bandwidth
+  /// with bytes >= packet_header_bytes, and truncation is monotone), so a
+  /// conservative window of this width can never miss a delivery. The wider
+  /// the window, the fewer barrier syncs per simulated cycle.
+  [[nodiscard]] Cycles min_latency() const noexcept {
+    const auto min_serialization = static_cast<Cycles>(
+        static_cast<double>(arch_->packet_header_bytes) /
+        arch_->link_bytes_per_cycle);
+    const Cycles floor = arch_->wire_latency_cycles + min_serialization;
+    return floor > 0 ? floor : 1;
+  }
+
   /// A recycled in-flight message slot.
   [[nodiscard]] MessageRef acquire_message() { return msg_pool_.acquire(); }
 
-  /// Launch a packet: it arrives at the destination NI after the wire
-  /// latency plus serialization at link bandwidth.
-  void transmit(Packet p);
+  /// Launch a packet at local time `now`: it arrives at the destination NI
+  /// after the wire latency plus serialization at link bandwidth.
+  void transmit(Packet p, Cycles now);
 
  private:
   engine::Simulator* sim_;
   const ArchParams* arch_;
   core::ObjectPool<Message> msg_pool_;
-  std::vector<std::vector<Nic*>> nics_;  // [node][nic index]
+  std::vector<std::vector<Nic*>> nics_;    // [node][nic index]
+  std::vector<std::vector<Route>> routes_; // [src node][dst node]; may be empty
 };
 
 }  // namespace svmsim::net

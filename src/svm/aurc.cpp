@@ -60,7 +60,7 @@ void AurcAgent::on_store(Processor& p, PageId page, PageCopy& c,
 void AurcAgent::emit_run(PageId page, Run& run) {
   PageCopy& c = space_->copy(self_, page);
   const std::uint32_t len = run.end - run.start;
-  BytesRef data = shared_->pools.bytes();
+  BytesRef data = pools_->bytes();
   data->bytes.assign(c.data.begin() + run.start,
                      c.data.begin() + run.start + len);
   net::Message m;

@@ -74,13 +74,15 @@ Cycles install_cycles(const ArchParams& arch, std::uint32_t page_bytes) {
 
 SvmAgent::SvmAgent(engine::Simulator& sim, const SimConfig& cfg, NodeId self,
                    int procs_on_node, AddressSpace& space, SharedState& shared,
-                   net::NodeComm& comm, Counters& counters)
+                   ProtocolPools& pools, net::NodeComm& comm,
+                   Counters& counters)
     : sim_(&sim),
       cfg_(&cfg),
       self_(self),
       procs_on_node_(procs_on_node),
       space_(&space),
       shared_(&shared),
+      pools_(&pools),
       comm_(&comm),
       counters_(&counters),
       vc_(space.nodes()),
@@ -242,7 +244,7 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
   SVMSIM_DBG_EVT(page, "fetch issued (gen=%u)", c.inval_gen);
   c.fetching = true;
   assert(fetch_slot(page) == nullptr && "duplicate fetch for a page");
-  fetch_slot(page) = shared_->pools.triggers.acquire();
+  fetch_slot(page) = pools_->triggers.acquire();
   const std::uint32_t gen_at_start = c.inval_gen;
   SVMSIM_CHECK_HOOK(*sim_, on_fetch_issue, self_, page);
 
@@ -289,7 +291,7 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
   engine::Trigger* t = fetch_slot(page);
   fetch_slot(page) = nullptr;
   t->complete();  // wakes coalesced waiters, invalidates their episodes
-  shared_->pools.triggers.release(t);
+  pools_->triggers.release(t);
 }
 
 void SvmAgent::begin_page_flush(PageId page) {
@@ -301,7 +303,7 @@ void SvmAgent::begin_page_flush(PageId page) {
   assert(!c.flushing && "overlapping flushes of one page");
   c.flushing = true;
   assert(flush_slot(page) == nullptr);
-  flush_slot(page) = shared_->pools.triggers.acquire();
+  flush_slot(page) = pools_->triggers.acquire();
 }
 
 void SvmAgent::end_page_flush(PageId page) {
@@ -314,7 +316,7 @@ void SvmAgent::end_page_flush(PageId page) {
   if (t == nullptr) return;
   flush_slot(page) = nullptr;
   t->complete();
-  shared_->pools.triggers.release(t);
+  pools_->triggers.release(t);
 }
 
 engine::Task<void> SvmAgent::wait_page_flush(Processor& p, PageId page) {
@@ -578,7 +580,7 @@ Task<void> SvmAgent::acquire_lock(Processor& p, int lock) {
       m.dst = shared_->locks.home_of(lock);
       m.lock_id = lock;
       m.payload_bytes = vclock_wire_bytes();
-      m.body = shared_->pools.vclock(vc_);
+      m.body = pools_->vclock(vc_);
       charge_send(p);
       co_await p.drain();
       const std::uint64_t id = comm_->rpc_post(m);
@@ -648,7 +650,7 @@ Task<void> SvmAgent::send_token_return(int lock, Processor* p) {
   m.dst = home;
   m.lock_id = lock;
   m.payload_bytes = vclock_wire_bytes();
-  m.body = shared_->pools.vclock(vc_);
+  m.body = pools_->vclock(vc_);
   co_await comm_->send(std::move(m));
 }
 
@@ -687,7 +689,7 @@ Task<void> SvmAgent::barrier(Processor& p) {
       barrier_merged_.merge(vclock_body(a.body));
     }
     // One pooled body serves every release message (references share it).
-    VClockRef merged_body = shared_->pools.vclock(barrier_merged_);
+    VClockRef merged_body = pools_->vclock(barrier_merged_);
     for (const auto& a : barrier_arrivals_) {
       const VClock& their_vc = vclock_body(a.body);
       const std::uint64_t notices =
@@ -711,7 +713,7 @@ Task<void> SvmAgent::barrier(Processor& p) {
     arr.type = net::MsgType::kBarrierArrive;
     arr.dst = shared_->hub.manager();
     arr.payload_bytes = vclock_wire_bytes();
-    arr.body = shared_->pools.vclock(vc_);
+    arr.body = pools_->vclock(vc_);
     charge_send(p);
     co_await p.drain();
     co_await comm_->send(std::move(arr));
@@ -776,7 +778,7 @@ Task<void> SvmAgent::handle_page_request(net::Message m) {
   co_await sim_->delay(cfg_->arch.tlb_access_cycles +
                        install_cycles(cfg_->arch, pb));
   auto home = space_->home_data(m.page);
-  BytesRef data = shared_->pools.bytes();
+  BytesRef data = pools_->bytes();
   data->bytes.assign(home.begin(), home.end());
   SVMSIM_DBG_EVT(m.page, "page reply snapshot for node %d word0=%d", m.src,
                    *reinterpret_cast<const int*>(data->bytes.data()));
@@ -823,7 +825,7 @@ Task<void> SvmAgent::grant_lock(net::Message req) {
   g.type = net::MsgType::kLockGrant;
   g.lock_id = req.lock_id;
   g.payload_bytes = vclock_wire_bytes() + 8 * notices;
-  g.body = shared_->pools.vclock(s.vc);
+  g.body = pools_->vclock(s.vc);
   co_await comm_->reply(req, std::move(g));
   // Pipeline the next handoff if more requesters are queued.
   if (!s.waiters.empty() && !s.recall_sent) {
@@ -979,7 +981,7 @@ Task<void> HlrcAgent::propagate_dirty(Processor& p,
     }
     DiffBatchRef& bref = batch_by_home_[static_cast<std::size_t>(h)];
     if (!bref) {
-      bref = shared_->pools.diff_batch();
+      bref = pools_->diff_batch();
       batch_bytes_[static_cast<std::size_t>(h)] = 0;
       batch_homes_.push_back(h);
     }
@@ -1036,7 +1038,7 @@ Task<void> HlrcAgent::flush_page_for_invalidation(Processor& p, PageId page,
   co_await wait_page_flush(p, page);
   if (!c.dirty) co_return;
   c.dirty = false;
-  DiffBatchRef batch = shared_->pools.diff_batch();
+  DiffBatchRef batch = pools_->diff_batch();
   PageDiff& d = batch->next();
   make_diff(p, page, c, d);
   // Demote immediately: a write racing the ack below must fault so it gets

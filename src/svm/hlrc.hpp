@@ -48,14 +48,23 @@
 
 namespace svmsim::svm {
 
-/// Protocol state shared across all nodes of one machine (object pools,
-/// interval history, lock homes, barrier rendezvous). The pools are declared
-/// first so they outlive every structure that can hold references into them.
+/// Protocol state shared across all nodes of one machine (interval history,
+/// lock homes, barrier rendezvous). Object pools are NOT here: they are
+/// per-partition (svm/pools.hpp) so pooled Triggers schedule on the right
+/// simulator in PDES mode. The structures below are the simulator shortcuts
+/// of docs/design — in PDES mode they are the only mutable state reachable
+/// from several partitions, so each is internally synchronized (their
+/// *contents* stay deterministic because every cross-partition read is
+/// happens-before-ordered behind a message that took >= the lookahead to
+/// arrive; see docs/engine.md, "PDES mode").
+///
+/// The hub's simulator must be the partition-0 simulator: the barrier
+/// manager is node 0, which the contiguous partition map always places in
+/// partition 0.
 struct SharedState {
   SharedState(engine::Simulator& sim, int nodes, int max_locks)
-      : pools(sim), dir(nodes), locks(nodes, max_locks), hub(sim, nodes) {}
+      : dir(nodes), locks(nodes, max_locks), hub(sim, nodes) {}
 
-  ProtocolPools pools;
   PageDirectory dir;
   LockDirectory locks;
   BarrierHub hub;
@@ -65,7 +74,7 @@ class SvmAgent {
  public:
   SvmAgent(engine::Simulator& sim, const SimConfig& cfg, NodeId self,
            int procs_on_node, AddressSpace& space, SharedState& shared,
-           net::NodeComm& comm, Counters& counters);
+           ProtocolPools& pools, net::NodeComm& comm, Counters& counters);
   virtual ~SvmAgent() = default;
 
   SvmAgent(const SvmAgent&) = delete;
@@ -165,6 +174,7 @@ class SvmAgent {
   int procs_on_node_;
   AddressSpace* space_;
   SharedState* shared_;
+  ProtocolPools* pools_;
   net::NodeComm* comm_;
   Counters* counters_;
 

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <vector>
 
 #include "engine/ring_queue.hpp"
@@ -44,6 +45,13 @@ class LockDirectory {
   [[nodiscard]] NodeId home_of(int lock) const { return lock % nodes_; }
 
   [[nodiscard]] LockHomeState& state(int lock) {
+    // Any partition may touch any lock home (a local acquire reads the
+    // token's release timestamp directly — the simulator shortcut in the
+    // file comment), so lazy growth is serialized. References stay stable
+    // across growth (deque), and the *fields* of a slot need no lock: every
+    // cross-partition read is ordered behind the token's travel, which in
+    // PDES mode means at least one full lookahead window of separation.
+    const std::lock_guard<std::mutex> g(grow_mu_);
     while (locks_.size() <= static_cast<std::size_t>(lock)) {
       locks_.emplace_back();
       locks_.back().vc = VClock(nodes_);
@@ -61,6 +69,7 @@ class LockDirectory {
  private:
   int nodes_;
   int max_locks_;
+  mutable std::mutex grow_mu_;       // guards lazy growth of locks_
   std::deque<LockHomeState> locks_;  // lazily grown; stable references
 };
 

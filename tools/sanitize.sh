@@ -1,30 +1,62 @@
 #!/usr/bin/env bash
-# Build the tier-1 test suite under ASan+UBSan and run it.
+# Build the tier-1 test suite under a sanitizer and run it.
 #
-# The sanitizer build defines SVMSIM_POOL_PARANOID and SVMSIM_NO_FRAME_POOL
-# (see the SVMSIM_SANITIZE option in CMakeLists.txt): object pools and the
-# coroutine frame pool hand memory straight back to the allocator, so
-# use-after-release bugs in the pooled protocol hot path surface as real
-# heap-use-after-free reports instead of being masked by recycling.
+#   tools/sanitize.sh [address|thread] [build-dir] [-- extra ctest args]
 #
-#   tools/sanitize.sh [build-dir] [-- extra ctest args]
+# * address (default) — ASan+UBSan over the whole suite. The build defines
+#   SVMSIM_POOL_PARANOID and SVMSIM_NO_FRAME_POOL (see the SVMSIM_SANITIZE
+#   option in CMakeLists.txt): object pools and the coroutine frame pool hand
+#   memory straight back to the allocator, so use-after-release bugs in the
+#   pooled protocol hot path surface as real heap-use-after-free reports
+#   instead of being masked by recycling.
+#
+# * thread — TSan over the parallel-mode subset: the tests that spawn real
+#   threads (PDES partitions, job pools, cross-thread channels) plus a
+#   sweep_dump --par-cores=4 run, i.e. the race-detector pass the PDES mode
+#   makes mandatory. The serial tests add nothing under TSan and triple the
+#   wall time, so they are skipped.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build-sanitize}"
+
+mode="address"
+case "${1:-}" in
+  address|thread) mode="$1"; shift ;;
+esac
+if [ "$mode" = "thread" ]; then
+  sanitize="thread"
+  default_dir="$repo_root/build-tsan"
+else
+  sanitize="address,undefined"
+  default_dir="$repo_root/build-sanitize"
+fi
+build_dir="${1:-$default_dir}"
 shift || true
 [ "${1:-}" = "--" ] && shift
 
 cmake -S "$repo_root" -B "$build_dir" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSVMSIM_SANITIZE=address,undefined \
+  -DSVMSIM_SANITIZE="$sanitize" \
   -DSVMSIM_CHECK=ON
 cmake --build "$build_dir" -j "$(nproc)"
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
-# ASan instrumentation defeats the tail calls behind coroutine symmetric
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+# Sanitizer instrumentation defeats the tail calls behind coroutine symmetric
 # transfer, so long synchronous co_await chains consume real stack that the
 # optimized build does not. Raise the limit rather than shrinking the tests.
 ulimit -s unlimited 2>/dev/null || ulimit -s 1048576 || true
-ctest --test-dir "$build_dir" --output-on-failure "$@"
+
+if [ "$mode" = "thread" ]; then
+  # The threaded subset: PDES partitioning and channels, the --jobs pool,
+  # and the machine/runner teardown paths they stress.
+  ctest --test-dir "$build_dir" --output-on-failure \
+    -R 'test_(partition|ring_queue|job_pool|determinism|machine)' "$@"
+  # Whole-binary PDES pass: every sweep point on 4 partition workers, with
+  # the checker's cross-thread hooks enabled (exit 1 on any violation).
+  "$build_dir/bench/sweep_dump" --par-cores=4 --check-consistency > /dev/null
+  echo "sanitize.sh: TSan arm passed (subset + sweep_dump --par-cores=4)"
+else
+  ctest --test-dir "$build_dir" --output-on-failure "$@"
+fi
