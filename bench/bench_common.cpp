@@ -43,6 +43,30 @@ Options Options::parse(int argc, char** argv) {
   }
   opt.check.enabled = cli.has("check-consistency");
   opt.par_cores = std::max(1, static_cast<int>(cli.get_int("par-cores", 1)));
+  if (opt.trace.enabled && opt.par_cores > 1) {
+    // Catch the conflict at the CLI instead of the Machine constructor's
+    // throw, with a distinct exit code scripts can branch on.
+    std::fprintf(stderr,
+                 "%s: --trace cannot be combined with --par-cores=%d: a "
+                 "trace is one global event stream in emission order, and "
+                 "partition workers emitting concurrently would interleave "
+                 "nondeterministically (see docs/tracing.md). Drop --trace "
+                 "or run with --par-cores=1.\n",
+                 argc > 0 ? argv[0] : "bench", opt.par_cores);
+    std::exit(kExitTracedParallel);
+  }
+  const std::string window = cli.get_or("pdes-window", "");
+  if (window == "fixed") {
+    opt.pdes_window = WindowPolicy::kFixed;
+  } else if (window == "adaptive") {
+    opt.pdes_window = WindowPolicy::kAdaptive;
+  } else if (!window.empty()) {
+    std::fprintf(stderr,
+                 "unknown --pdes-window value '%s' "
+                 "(expected adaptive or fixed)\n",
+                 window.c_str());
+    std::exit(2);
+  }
   // Jobs x par_cores threads run at once: when PDES mode is on, shrink the
   // default job count so the machine is not oversubscribed. An explicit
   // --jobs always wins.
@@ -75,6 +99,7 @@ std::vector<harness::SweepPoint> suite_points(
       harness::SweepPoint p{app, base_config(), values[i]};
       apply(p.cfg, values[i]);
       p.cfg.par_cores = opt.par_cores;
+      p.cfg.pdes_window = opt.pdes_window;
       p.cfg.trace = opt.trace;
       if (opt.trace.enabled) {
         // Each point is its own Machine/run: give each its own trace file.

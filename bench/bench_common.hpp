@@ -16,6 +16,14 @@
 //                              byte-identical to serial). The default job
 //                              count shrinks to hardware/N so the two levels
 //                              of parallelism do not oversubscribe.
+//   --pdes-window=adaptive|fixed
+//                              window-end policy for --par-cores runs
+//                              (default adaptive; fixed is the original
+//                              one-lookahead window, kept for A/B runs —
+//                              results are byte-identical either way)
+//
+// --trace combined with --par-cores>1 is rejected up front with exit code
+// kExitTracedParallel (see docs/tracing.md).
 #pragma once
 
 #include <functional>
@@ -34,12 +42,19 @@
 
 namespace svmsim::bench {
 
+/// Exit code for the --trace + --par-cores>1 flag conflict, distinct from
+/// the generic bad-flag exit(2) so scripts (and the death test) can tell the
+/// two apart.
+inline constexpr int kExitTracedParallel = 3;
+
 struct Options {
   apps::Scale scale = apps::Scale::kSmall;
   std::string csv_dir;
   std::vector<std::string> app_names;
   int jobs = 1;
   int par_cores = 1;    ///< SimConfig::par_cores for every sweep point
+  /// SimConfig::pdes_window for every sweep point (--pdes-window).
+  WindowPolicy pdes_window = SimConfig{}.pdes_window;
   trace::Config trace;  ///< applied to every sweep point (path is a prefix)
   check::Config check;  ///< applied to every sweep point
 

@@ -133,15 +133,63 @@ bool Machine::run_parallel(Cycles max_cycles) {
   std::vector<engine::FrameRegistry*> prev_slot(
       static_cast<std::size_t>(parts_), nullptr);
 
+  // Adaptive-window inputs: the host/NI cost floor between a posting event
+  // and its first packet, and each partition's contiguous node range
+  // (partition_of is monotone) for the NIC send-pipeline scan.
+  const Cycles tx_floor = net::Network::min_tx_cycles(cfg_.arch, cfg_.comm);
+  std::vector<std::pair<NodeId, NodeId>> node_range(
+      static_cast<std::size_t>(parts_), {0, 0});
+  for (NodeId n = 0; n < node_count(); ++n) {
+    auto& [begin, end] = node_range[static_cast<std::size_t>(
+        partition_of_node(n))];
+    if (end == 0) begin = n;
+    end = n + 1;
+  }
+
   engine::WindowDriver::Hooks hooks;
+  hooks.publish = [this, tx_floor, &node_range](int p) {
+    engine::WindowDriver::Published pub;
+    // Seal this window's outgoing batches; their minimum timestamp is this
+    // partition's in-flight contribution to the barrier's reductions.
+    for (int d = 0; d < parts_; ++d) {
+      if (d == p) continue;
+      const Cycles m =
+          channels_[static_cast<std::size_t>(p)][static_cast<std::size_t>(d)]
+              .seal();
+      if (m < pub.in_flight) pub.in_flight = m;
+    }
+    // Next cross-partition send. A send not yet posted must first be
+    // posted by some event and then pay the full tx pipeline floor:
+    // head-of-queue + tx_floor covers every such message. A remote message
+    // already inside a NIC (posted but not fully on the wire) is bounded by
+    // that NIC's live launch bound instead — the pipeline stage plus the
+    // occupied resource's busy_until, plus a full pipeline per queued
+    // message ahead of the first remote one (next_remote_tx_lb). A loose
+    // bound only narrows the window; the WindowDriver clamps it to the
+    // fixed-policy floor.
+    Cycles send = sims_[static_cast<std::size_t>(p)].next_send_bound(
+        tx_floor);
+    const auto [begin, end] = node_range[static_cast<std::size_t>(p)];
+    for (NodeId n = begin; n < end; ++n) {
+      Node& nd = *nodes_[static_cast<std::size_t>(n)];
+      for (int k = 0; k < nd.nic_count(); ++k) {
+        const net::Nic& nic = nd.nic(k);
+        if (nic.remote_tx_pending()) {
+          const Cycles lb = nic.next_remote_tx_lb();
+          if (lb < send) send = lb;
+        }
+      }
+    }
+    pub.next_send = send;
+    return pub;
+  };
   hooks.drain = [this](int p) {
     auto& q = sims_[static_cast<std::size_t>(p)].queue();
     for (int s = 0; s < parts_; ++s) {
       if (s == p) continue;
       channels_[static_cast<std::size_t>(s)][static_cast<std::size_t>(p)]
-          .drain([&q](Cycles when, std::uint64_t key,
-                      net::Network::Action action) {
-            q.schedule_wire(when, key, std::move(action));
+          .drain([&q](auto& batch) {
+            q.schedule_wire_batch(batch);
           });
     }
   };
@@ -157,7 +205,7 @@ bool Machine::run_parallel(Cycles max_cycles) {
   };
 
   engine::WindowDriver driver(std::move(queues), network_.min_latency(),
-                              std::move(hooks));
+                              std::move(hooks), cfg_.pdes_window);
   bool drained = false;
   try {
     drained = driver.run(max_cycles);

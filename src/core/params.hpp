@@ -160,6 +160,20 @@ struct SimConfig {
   /// executed, never what is simulated, so describe()/sweep keys ignore it.
   int par_cores = 1;
 
+  /// Window-end policy for the PDES mode: adaptive (the default) stretches
+  /// each window to the earliest possible cross-partition send plus the
+  /// lookahead; fixed reproduces the original one-lookahead windows. Like
+  /// par_cores this changes how the simulation is executed, never what is
+  /// simulated — results are byte-identical under either policy — so
+  /// describe()/sweep keys ignore it. Building with
+  /// -DSVMSIM_PDES_WINDOW=fixed flips the compiled-in default.
+  WindowPolicy pdes_window =
+#ifdef SVMSIM_PDES_WINDOW_FIXED
+      WindowPolicy::kFixed;
+#else
+      WindowPolicy::kAdaptive;
+#endif
+
   /// Event-recorder settings (src/trace/). Never affects simulated time:
   /// results are byte-identical with tracing on or off.
   trace::Config trace;

@@ -38,6 +38,7 @@
 // global sequence counter.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -119,6 +120,22 @@ class HeapScheduler {
   /// ordered among wire events by `key`. See the file comment.
   void schedule_wire(Cycles when, std::uint64_t key, Action action);
 
+  /// Splice a whole batch of wire-band records in one call: append every
+  /// (when, key, item) entry, then restore the band's heap invariant once —
+  /// O(n + band) instead of n individual O(log band) pushes. This is the
+  /// PDES drain path for a TimedChannel batch; entries are moved from and
+  /// must be strictly in the future.
+  template <typename Batch>
+  void schedule_wire_batch(Batch& batch) {
+    if (batch.empty()) return;
+    wire_.reserve(wire_.size() + batch.size());
+    for (auto& e : batch) {
+      assert(e.when > now_ && "wire events must be strictly in the future");
+      wire_.push_back(WireEvent{e.when, e.key, std::move(e.item)});
+    }
+    std::make_heap(wire_.begin(), wire_.end(), WireFiresLater{});
+  }
+
   /// Pre-size the event storage (events, not bytes).
   void reserve(std::size_t events) { heap_.reserve(events); }
 
@@ -135,6 +152,20 @@ class HeapScheduler {
     if (!heap_.empty()) next = heap_.front().when;
     if (!wire_.empty() && wire_.front().when < next) next = wire_.front().when;
     return next;
+  }
+
+  /// Conservative lower bound on the earliest time an event fired from this
+  /// queue could launch a cross-partition send, given that every send costs
+  /// at least `floor` cycles of host/NI processing between the event that
+  /// posts it and its first packet reaching the wire: head-of-queue time
+  /// plus the floor (saturating), or kNever ("unbounded") when idle — the
+  /// adaptive PDES window query (docs/engine.md, "PDES mode"). Pass
+  /// floor = 0 when a send is already mid-pipeline and only the bare
+  /// head-of-queue bound is sound.
+  [[nodiscard]] Cycles next_send_bound(Cycles floor) const noexcept {
+    const Cycles t = next_time();
+    if (t == kNever) return t;
+    return t >= kNever - floor ? kNever : t + floor;
   }
 
   /// Run a single event; returns false if none pending.
@@ -249,6 +280,22 @@ class TieredScheduler {
   /// ordered among wire events by `key`. See the file comment.
   void schedule_wire(Cycles when, std::uint64_t key, Action action);
 
+  /// Splice a whole batch of wire-band records in one call: append every
+  /// (when, key, item) entry, then restore the band's heap invariant once —
+  /// O(n + band) instead of n individual O(log band) pushes. This is the
+  /// PDES drain path for a TimedChannel batch; entries are moved from and
+  /// must be strictly in the future.
+  template <typename Batch>
+  void schedule_wire_batch(Batch& batch) {
+    if (batch.empty()) return;
+    wire_.reserve(wire_.size() + batch.size());
+    for (auto& e : batch) {
+      assert(e.when > now_ && "wire events must be strictly in the future");
+      wire_.push_back(WireEvent{e.when, e.key, std::move(e.item)});
+    }
+    std::make_heap(wire_.begin(), wire_.end(), WireFiresLater{});
+  }
+
   /// Pre-size the event node pool (events, not bytes).
   void reserve(std::size_t events);
 
@@ -263,6 +310,16 @@ class TieredScheduler {
   /// forward (advance() splices the next occupied tick onto the lane, which
   /// is a pure representation change).
   [[nodiscard]] Cycles next_time();
+
+  /// Conservative lower bound on the earliest time an event fired from this
+  /// queue could launch a cross-partition send — see
+  /// HeapScheduler::next_send_bound for the contract (non-const here only
+  /// because next_time() may sweep the wheel cursor).
+  [[nodiscard]] Cycles next_send_bound(Cycles floor) {
+    const Cycles t = next_time();
+    if (t == kNever) return t;
+    return t >= kNever - floor ? kNever : t + floor;
+  }
 
   /// Run a single event; returns false if none pending.
   bool step();

@@ -1,5 +1,6 @@
 #include "engine/partition.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <condition_variable>
 #include <mutex>
@@ -18,40 +19,51 @@ inline void cpu_relax() noexcept {
 #endif
 }
 
-/// A generation-counter phase barrier with two wait strategies. The
-/// simulation crosses one window every lookahead cycles — tens of thousands
-/// of syncs per run — and a futex-parked barrier costs microseconds per
-/// sync, which swamps the sub-microsecond of event work a partition does
-/// per window. When every partition thread can own a hardware thread the
-/// barrier spins (~100ns per 4-thread sync); when the machine is
-/// oversubscribed it parks on a condition variable instead, because a spin
-/// loop that must be scheduled out to let the last arriver in turns every
-/// sync into a storm of yields.
+/// A sense-reversing combining barrier with two wait strategies: the sense
+/// is a generation counter, and the crossing carries the window protocol's
+/// two min-reductions — each arriver folds its (next, send) bounds into a
+/// pair of atomic accumulators on the way in, so opening a window costs one
+/// synchronization point instead of the previous sync + quiesce pair.
 ///
-/// Reuse safety: the driver alternates two of these, so every thread must
-/// pass barrier B before re-entering barrier A — no thread can re-arrive at
-/// a barrier another thread is still waiting in, which is why one counter
-/// and one generation word suffice.
+/// Wait strategy: the simulation crosses one barrier per window, and a
+/// futex-parked barrier costs microseconds per sync — more than the event
+/// work a small window holds. When every partition thread can own a
+/// hardware thread the barrier spins (~100ns per 4-thread sync); when the
+/// machine is oversubscribed it parks on a condition variable instead,
+/// because a spin loop that must be scheduled out to let the last arriver
+/// in turns every sync into a storm of yields.
 ///
-/// Ordering (spin path): each arrival's fetch_add(acq_rel) joins the
-/// counter's release sequence, so the last arriver's increment synchronizes
-/// with every earlier one — the completion function reads all pre-barrier
-/// writes. Its own writes are released by the generation bump and acquired
-/// by each waiter's spin load. (Blocking path: the mutex orders everything.)
-class PhaseBarrier {
+/// Reuse safety (single instance): the completion's writes — including the
+/// accumulator resets — are sequenced before the generation bump, and a
+/// thread can only re-arrive (re-fold, re-increment) after observing that
+/// bump, so generation g+1's folds never race generation g's reset. A
+/// thread still spinning in generation g cannot be overtaken either: the
+/// next completion needs all n arrivals, including the spinner's own, which
+/// it can only make after leaving g.
+///
+/// Ordering (spin path): the relaxed CAS folds are sequenced before the
+/// arrival's fetch_add(acq_rel), which joins the counter's release
+/// sequence, so the last arriver's increment synchronizes with every
+/// earlier one — the completion reads all folds and pre-barrier writes. Its
+/// own writes are released by the generation bump and acquired by each
+/// waiter's spin load. (Blocking path: the mutex orders everything; the
+/// folds are sequenced before each thread's critical section.)
+class CombiningBarrier {
  public:
-  PhaseBarrier(int n, bool spin) noexcept : n_(n), spin_(spin) {}
+  CombiningBarrier(int n, bool spin) noexcept : n_(n), spin_(spin) {}
 
-  /// Block until all n threads arrive; the last to arrive runs `completion`
-  /// exclusively before releasing the others (std::barrier's completion
-  /// contract).
+  /// Fold (next, send) into the crossing's min-reduction and block until
+  /// all n threads arrive; the last to arrive runs
+  /// completion(min(next), min(send)) exclusively before releasing the
+  /// others (std::barrier's completion contract).
   template <typename F>
-  void arrive_and_wait(F&& completion) noexcept {
+  void arrive_and_wait(Cycles next, Cycles send, F&& completion) noexcept {
+    fold(next_min_, next);
+    fold(send_min_, send);
     if (spin_) {
       const std::uint64_t gen = gen_.load(std::memory_order_acquire);
       if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
-        completion();
-        arrived_.store(0, std::memory_order_relaxed);
+        finish(completion);
         gen_.store(gen + 1, std::memory_order_release);
       } else {
         while (gen_.load(std::memory_order_acquire) == gen) cpu_relax();
@@ -61,8 +73,7 @@ class PhaseBarrier {
     std::unique_lock<std::mutex> lk(mu_);
     const std::uint64_t gen = gen_.load(std::memory_order_relaxed);
     if (arrived_.fetch_add(1, std::memory_order_relaxed) + 1 == n_) {
-      completion();
-      arrived_.store(0, std::memory_order_relaxed);
+      finish(completion);
       gen_.store(gen + 1, std::memory_order_relaxed);
       lk.unlock();
       cv_.notify_all();
@@ -73,15 +84,29 @@ class PhaseBarrier {
     }
   }
 
-  void arrive_and_wait() noexcept {
-    arrive_and_wait([] {});
+ private:
+  static void fold(std::atomic<Cycles>& acc, Cycles v) noexcept {
+    Cycles cur = acc.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !acc.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
   }
 
- private:
+  template <typename F>
+  void finish(F& completion) noexcept {
+    completion(next_min_.load(std::memory_order_relaxed),
+               send_min_.load(std::memory_order_relaxed));
+    next_min_.store(kNever, std::memory_order_relaxed);
+    send_min_.store(kNever, std::memory_order_relaxed);
+    arrived_.store(0, std::memory_order_relaxed);
+  }
+
   const int n_;
   const bool spin_;
   std::atomic<int> arrived_{0};
   std::atomic<std::uint64_t> gen_{0};
+  std::atomic<Cycles> next_min_{kNever};
+  std::atomic<Cycles> send_min_{kNever};
   std::mutex mu_;
   std::condition_variable cv_;
 };
@@ -89,17 +114,17 @@ class PhaseBarrier {
 }  // namespace
 
 WindowDriver::WindowDriver(std::vector<EventQueue*> queues, Cycles lookahead,
-                           Hooks hooks)
+                           Hooks hooks, WindowPolicy policy)
     : queues_(std::move(queues)),
       lookahead_(lookahead),
-      hooks_(std::move(hooks)) {
+      hooks_(std::move(hooks)),
+      policy_(policy) {
   assert(!queues_.empty());
   assert(lookahead_ >= 1 && "conservative windows need positive lookahead");
 }
 
 bool WindowDriver::run(Cycles max_cycles) {
   const int parts = static_cast<int>(queues_.size());
-  next_.assign(static_cast<std::size_t>(parts), kNever);
   stop_ = false;
   drained_ = false;
   windows_ = 0;
@@ -107,37 +132,47 @@ bool WindowDriver::run(Cycles max_cycles) {
   error_ = nullptr;
   std::mutex error_mu;
 
-  // Phase completion: runs on exactly one thread between "everyone published
-  // next_" and "everyone observes the new window"; the barrier sequences its
-  // writes against both sides.
-  auto open_window = [this, max_cycles]() noexcept {
+  // Crossing completion: runs on exactly one thread between "everyone folded
+  // its bounds" and "everyone observes the new window"; the barrier
+  // sequences its writes against both sides.
+  auto open_window = [this, max_cycles](Cycles next_min,
+                                        Cycles send_min) noexcept {
     if (failed_.load(std::memory_order_relaxed)) {
       stop_ = true;
       return;
     }
-    Cycles t = kNever;
-    for (const Cycles c : next_) {
-      if (c < t) t = c;
-    }
-    if (t == kNever) {
+    if (next_min == kNever) {
       stop_ = true;
-      drained_ = true;
-    } else if (t > max_cycles) {
-      stop_ = true;  // next event beyond the horizon: deadline, not drained
-    } else {
-      // Never fire past max_cycles (matches serial run_until semantics).
-      const Cycles end = t + lookahead_;
-      window_end_ = end - 1 < max_cycles ? end : max_cycles + 1;
-      ++windows_;
+      drained_ = true;  // nothing pending and nothing in flight anywhere
+      return;
     }
+    if (next_min > max_cycles) {
+      stop_ = true;  // next event beyond the horizon: deadline, not drained
+      return;
+    }
+    // Adaptive: nothing can cross a partition boundary before
+    // min(send) + L, so the window stretches that far — quiescent phases
+    // (send_min == kNever) collapse into one window to the horizon. A
+    // published send bound may sit below next_min (a NIC's launch bound
+    // goes stale while its dequeue event is still queued), but no send can
+    // actually predate the head-of-queue event, so clamping to next_min
+    // keeps the window sound, guarantees progress, and makes the fixed
+    // policy's [T, T + L) the conservative floor.
+    const Cycles base = policy_ == WindowPolicy::kFixed
+                            ? next_min
+                            : std::max(next_min, send_min);
+    const Cycles end =
+        base >= kNever - lookahead_ ? kNever : base + lookahead_;
+    // Never fire past max_cycles (matches serial run_until semantics).
+    window_end_ = end - 1 < max_cycles ? end : max_cycles + 1;
+    ++windows_;
   };
   // Spin only when every partition worker can plausibly own a hardware
   // thread; a concurrent --jobs pool shares the same budget (bench_common
   // divides the default job count by par_cores for exactly this reason).
   const bool spin =
       std::thread::hardware_concurrency() >= static_cast<unsigned>(parts);
-  PhaseBarrier sync(parts, spin);
-  PhaseBarrier quiesce(parts, spin);
+  CombiningBarrier barrier(parts, spin);
 
   auto capture = [&](std::exception_ptr e) {
     const std::lock_guard<std::mutex> g(error_mu);
@@ -148,28 +183,50 @@ bool WindowDriver::run(Cycles max_cycles) {
   auto body = [&](int p) {
     if (hooks_.worker_begin) hooks_.worker_begin(p);
     bool dead = false;
+    // Batches sealed before a previous run() stopped at its horizon are
+    // still in flight; deliver them before the first publish so the first
+    // crossing's bounds account for them. (No producer is active yet: every
+    // open batch was sealed at the previous run's final publish.)
+    if (hooks_.drain) {
+      try {
+        hooks_.drain(p);
+      } catch (...) {
+        capture(std::current_exception());
+        dead = true;
+      }
+    }
     for (;;) {
+      Cycles next = kNever;
+      Cycles send = kNever;
       if (!dead) {
         try {
-          hooks_.drain(p);
-          next_[static_cast<std::size_t>(p)] = queues_[p]->next_time();
+          Published pub;
+          if (hooks_.publish) pub = hooks_.publish(p);
+          next = std::min(queues_[p]->next_time(), pub.in_flight);
+          // A just-sealed record is an event its consumer has not seen and
+          // can itself trigger a send at its own timestamp, so in_flight
+          // bounds the send reduction too.
+          send = std::min(pub.next_send, pub.in_flight);
         } catch (...) {
           capture(std::current_exception());
           dead = true;
         }
       }
-      if (dead) next_[static_cast<std::size_t>(p)] = kNever;
-      sync.arrive_and_wait(open_window);
+      if (dead) {
+        next = kNever;
+        send = kNever;
+      }
+      barrier.arrive_and_wait(next, send, open_window);
       if (stop_) break;
       if (!dead) {
         try {
+          if (hooks_.drain) hooks_.drain(p);
           queues_[p]->run_until(window_end_ - 1);
         } catch (...) {
           capture(std::current_exception());
           dead = true;
         }
       }
-      quiesce.arrive_and_wait();
     }
     if (hooks_.worker_end) hooks_.worker_end(p);
   };

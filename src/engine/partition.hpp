@@ -1,29 +1,36 @@
 // Conservative windowed synchronization for the node-partitioned PDES mode.
 //
 // Each partition owns one EventQueue and one worker thread. The driver runs
-// the classic conservative window (YAWNS-style) protocol:
+// an adaptive variant of the classic conservative window (YAWNS-style)
+// protocol. Per window, every partition:
 //
-//   1. every partition drains its incoming cross-partition channels into its
-//      queue and publishes the time of its earliest pending event,
-//   2. a barrier computes the global minimum T; the window is [T, T + L)
-//      where L is the lookahead — the network's minimum inter-node latency
-//      (the crossbar's fixed wire time, ArchParams::wire_latency_cycles),
-//   3. every partition runs its queue up to T + L - 1 and meets a second
-//      barrier before the next round.
+//   1. *publishes*: seals its outgoing channel batches and computes two
+//      bounds — its head-of-queue event time (folded with the sealed
+//      batches' minimum timestamp) and a conservative lower bound on its
+//      next cross-partition *send* (kNever when provably none is pending),
+//   2. crosses one combining barrier that min-reduces both bounds while
+//      threads arrive; the last arriver opens the window [T, E) with
+//      T = min(next) and E = min(send) + L under the adaptive policy or
+//      E = T + L under the fixed policy, L being the network's minimum
+//      inter-node latency (the lookahead),
+//   3. *drains* every sealed incoming batch into its scheduler's wire band
+//      and runs its queue up to E - 1; the next publish closes the window.
 //
-// Safety: any packet sent during [T, T+L) arrives at >= T + L, i.e. never
-// inside the window that produced it, so draining channels at each window
-// start delivers every record before its timestamp can be reached. Progress:
-// the partition holding the global minimum fires at least one event per
-// window. Determinism: a partition is a sequential deterministic machine;
-// its only external input is the set of channel records, whose content and
-// delivery order (via the scheduler's keyed wire band) are independent of
-// wall-clock interleaving — so the parallel run replays the serial order
+// Safety: each partition's send bound under-approximates its own next
+// cross-partition transmit, so any packet launched during [T, E) leaves at
+// >= min(send) and arrives at >= min(send) + L = E — never inside the
+// window that produced it. Sealed-batch minima feed *both* reductions
+// because a record still in flight is an event the consumer's queue does not
+// know about yet, and once delivered it can trigger a send no earlier than
+// its own timestamp. Progress: send bounds never undercut head-of-queue
+// times, so E >= T + L and the partition holding the global minimum fires at
+// least one event per window; when no cross-traffic is pending anywhere
+// (min(send) = kNever) the remaining work collapses into a single window to
+// the horizon. Determinism: a partition is a sequential deterministic
+// machine; its inputs — the channel records and the window boundaries — are
+// pure functions of the partition states meeting at the barrier, independent
+// of wall-clock interleaving, so the parallel run replays the serial order
 // exactly (docs/engine.md, "PDES mode").
-//
-// The two barriers also carry all inter-thread happens-before edges: channel
-// production (during a window) and consumption (at the next window start)
-// never overlap, so the channels themselves need no atomics.
 #pragma once
 
 #include <atomic>
@@ -59,9 +66,25 @@ namespace svmsim::engine {
 /// worker thread for the duration of run().
 class WindowDriver {
  public:
+  /// What a partition's publish hook reports at each window boundary.
+  struct Published {
+    /// Smallest timestamp among the cross-partition records the partition
+    /// just sealed into its outgoing channels (kNever if none): traffic no
+    /// consumer queue accounts for yet, folded into both reductions.
+    Cycles in_flight = kNever;
+    /// Conservative lower bound on the partition's next cross-partition
+    /// send time; kNever means provably no cross-traffic is pending.
+    Cycles next_send = kNever;
+  };
+
   struct Hooks {
-    /// Deliver every matured cross-partition record into partition p's
-    /// queue (schedule_wire). Called on p's worker at each window start.
+    /// Seal partition p's outgoing channel batches and report its bounds.
+    /// Called on p's worker before every barrier crossing. May be null
+    /// (a partition with no cross-partition traffic at all).
+    std::function<Published(int)> publish;
+    /// Deliver every sealed incoming batch into partition p's queue
+    /// (schedule_wire_batch). Called on p's worker right after every
+    /// barrier crossing, before the window runs. May be null.
     std::function<void(int)> drain;
     /// Called once on p's worker thread before the first window — bind
     /// partition-owned thread-affine state (frame registries) to it.
@@ -70,7 +93,8 @@ class WindowDriver {
     std::function<void(int)> worker_end;
   };
 
-  WindowDriver(std::vector<EventQueue*> queues, Cycles lookahead, Hooks hooks);
+  WindowDriver(std::vector<EventQueue*> queues, Cycles lookahead, Hooks hooks,
+               WindowPolicy policy = WindowPolicy::kAdaptive);
 
   /// Run all partitions until globally idle or until the next window would
   /// start beyond `max_cycles`. Returns true if the queues drained (mirrors
@@ -82,14 +106,17 @@ class WindowDriver {
   /// by perf_selfcheck).
   [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
 
+  [[nodiscard]] WindowPolicy policy() const noexcept { return policy_; }
+
  private:
   std::vector<EventQueue*> queues_;
   Cycles lookahead_;
   Hooks hooks_;
+  WindowPolicy policy_;
 
-  // Per-run window state: written by workers before the sync barrier and by
-  // its completion function, which is all the ordering they need.
-  std::vector<Cycles> next_;
+  // Per-run window state: written only by the combining barrier's completion
+  // function and read by workers after the crossing, which is all the
+  // ordering they need.
   Cycles window_end_ = 0;
   bool stop_ = false;
   bool drained_ = false;

@@ -76,6 +76,27 @@ class Nic {
   [[nodiscard]] int index() const noexcept { return index_; }
   [[nodiscard]] IoBus& io_bus() noexcept { return iobus_; }
 
+  /// True while any cross-partition message is posted but not fully on the
+  /// wire (send queue or mid-transmit) — the adaptive PDES window's send
+  /// bookkeeping. While this holds, next_remote_tx_lb() bounds this NI's
+  /// earliest send; once clear, the next cross-partition packet costs at
+  /// least Network::min_tx_cycles of host/NI processing after the event
+  /// that posts it.
+  [[nodiscard]] bool remote_tx_pending() const noexcept {
+    return remote_pending_ > 0;
+  }
+
+  /// Absolute lower bound on the next time this NI can launch a
+  /// cross-partition packet. Computed live from the tx pipeline's current
+  /// stage and the occupied resource's busy_until() — a barrier that
+  /// catches the pipeline stalled on a contended bus still sees the
+  /// stall-aware bound, not a stale snapshot — plus one full
+  /// Network::min_tx_cycles pipeline per queued message ahead of the first
+  /// remote one (a remote message behind local traffic cannot jump the
+  /// FIFO send queue). Only meaningful while remote_tx_pending(); always a
+  /// lower bound, so a loose value costs window width, never correctness.
+  [[nodiscard]] Cycles next_remote_tx_lb() const noexcept;
+
  private:
   engine::Task<void> tx_loop();
   engine::Task<void> rx_loop();
@@ -98,6 +119,20 @@ class Nic {
 
   engine::RingQueue<Message> send_q_;
   std::uint64_t send_q_bytes_ = 0;
+  std::uint32_t remote_pending_ = 0;  ///< cross-partition msgs not yet sent
+
+  /// Adaptive-window send-bound bookkeeping (see next_remote_tx_lb()):
+  /// which leg of the per-packet pipeline tx_loop currently occupies, a
+  /// leg-boundary lower bound on the next packet launch, whether the
+  /// in-pipeline message crosses a partition boundary, and the cached
+  /// per-leg minimum costs.
+  enum class TxStage : std::uint8_t { kIdle, kNiServe, kDma, kMembus };
+  TxStage tx_stage_ = TxStage::kIdle;
+  Cycles leg_lb_ = 0;        ///< launch bound as of the last leg boundary
+  bool cur_remote_ = false;  ///< in-pipeline message crosses partitions
+  Cycles min_tx_ = 0;        ///< Network::min_tx_cycles(arch, comm)
+  Cycles dma_min_ = 0;       ///< minimum I/O-bus DMA leg
+  Cycles mem_min_ = 0;       ///< minimum memory-bus leg (incl. arbitration)
   std::uint32_t wire_seq_ = 0;  ///< launch counter for this NI's packets
   engine::Semaphore send_items_;
   engine::Trigger send_space_;
@@ -166,6 +201,37 @@ class Network {
         arch_->link_bytes_per_cycle);
     const Cycles floor = arch_->wire_latency_cycles + min_serialization;
     return floor > 0 ? floor : 1;
+  }
+
+  /// Conservative minimum host/NI-side cost between the event that posts a
+  /// message and the launch of its first packet: the NI send occupancy, the
+  /// I/O-bus DMA and the memory-bus transaction for a minimum-size packet.
+  /// Every phase of Nic::tx_loop delays by at least its service time and
+  /// each per-packet cost is monotone in packet size, so no transmit can
+  /// beat post time + this floor. With the NI occupancy alone at ~1000
+  /// cycles against a 116-cycle wire latency, this is what lets the
+  /// adaptive PDES window bound a pipeline-empty partition's next send by
+  /// head-of-queue + floor instead of head-of-queue alone (docs/engine.md,
+  /// "PDES mode").
+  [[nodiscard]] static Cycles min_tx_cycles(const ArchParams& arch,
+                                            const CommParams& comm) noexcept {
+    const std::uint64_t pkt = arch.packet_header_bytes;  // smallest packet
+    const std::uint64_t bus_cycles =
+        (pkt + arch.membus_bytes_per_bus_cycle - 1) /
+        arch.membus_bytes_per_bus_cycle;
+    return comm.ni_occupancy + comm.io_bus_cycles(pkt) +
+           arch.membus_arbitration_cycles +
+           bus_cycles * arch.membus_cpu_per_bus_cycle;
+  }
+
+  /// True when deliveries from `src` to `dst` cross a partition boundary,
+  /// i.e. travel over a TimedChannel instead of landing on a scheduler
+  /// directly. Always false in serial mode (no routes installed).
+  [[nodiscard]] bool remote(NodeId src, NodeId dst) const noexcept {
+    if (routes_.empty()) return false;
+    return routes_[static_cast<std::size_t>(src)][static_cast<std::size_t>(
+               dst)]
+               .channel != nullptr;
   }
 
   /// A recycled in-flight message slot.

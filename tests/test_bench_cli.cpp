@@ -1,0 +1,67 @@
+// CLI-layer tests for the shared bench option parser (bench_common): the
+// --trace / --par-cores conflict must terminate with its own exit code
+// (kExitTracedParallel) and a diagnostic naming both flags and the docs,
+// and --pdes-window must parse, default, reject, and propagate into every
+// sweep point. Exit codes are part of the contract — scripts branch on
+// them — so the failure paths are exercised as death/exit tests.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace svmsim::bench {
+namespace {
+
+/// Run Options::parse over a fake argv. --jobs=1 is forced so no worker
+/// pool is spawned (keeps the death tests' fork clean of threads).
+Options parse(std::vector<std::string> args) {
+  args.insert(args.begin(), "bench_test");
+  args.push_back("--jobs=1");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchCliDeathTest, TracedParallelExitsWithDistinctCode) {
+  EXPECT_EXIT(parse({"--trace=/tmp/t.bin", "--par-cores=4"}),
+              ::testing::ExitedWithCode(kExitTracedParallel),
+              "--trace cannot be combined with --par-cores=4");
+}
+
+TEST(BenchCliDeathTest, TracedParallelDiagnosticPointsAtDocs) {
+  EXPECT_EXIT(parse({"--trace=/tmp/t.bin", "--par-cores=2"}),
+              ::testing::ExitedWithCode(kExitTracedParallel),
+              "docs/tracing.md");
+}
+
+TEST(BenchCliDeathTest, UnknownWindowPolicyExitsWithUsageCode) {
+  EXPECT_EXIT(parse({"--pdes-window=bogus"}), ::testing::ExitedWithCode(2),
+              "pdes-window");
+}
+
+TEST(BenchCli, WindowPolicyFlagParses) {
+  EXPECT_EQ(parse({"--pdes-window=fixed"}).pdes_window, WindowPolicy::kFixed);
+  EXPECT_EQ(parse({"--pdes-window=adaptive"}).pdes_window,
+            WindowPolicy::kAdaptive);
+  // Unset: the build's compiled-in default (SVMSIM_PDES_WINDOW).
+  EXPECT_EQ(parse({}).pdes_window, SimConfig{}.pdes_window);
+}
+
+TEST(BenchCli, TraceAloneAndParCoresAloneAreAccepted) {
+  EXPECT_EQ(parse({"--par-cores=4"}).par_cores, 4);
+  EXPECT_TRUE(parse({"--trace=/tmp/t.bin"}).trace.enabled);
+}
+
+TEST(BenchCli, SweepPointsCarryParCoresAndWindowPolicy) {
+  auto opt = parse({"--par-cores=2", "--pdes-window=fixed", "--apps=fft"});
+  auto pts = suite_points({0.0}, [](SimConfig&, double) {}, opt);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0].cfg.par_cores, 2);
+  EXPECT_EQ(pts[0].cfg.pdes_window, WindowPolicy::kFixed);
+}
+
+}  // namespace
+}  // namespace svmsim::bench

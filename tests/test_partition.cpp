@@ -129,18 +129,71 @@ TEST(WireBand, ClearDropsWireEvents) {
 
 // ------------------------------------------------------------ WindowDriver
 
-TEST(WindowDriver, SinglePartitionRunsToIdle) {
+TEST(WindowDriver, SinglePartitionAdaptiveCollapsesToOneWindow) {
+  // No publish hook means no cross-partition traffic, ever: the adaptive
+  // policy sees min(send) = kNever at the first barrier and runs everything
+  // to the horizon in a single window.
   engine::EventQueue q;
   std::vector<int> order;
   for (int i = 5; i >= 1; --i) {
     q.schedule_at(static_cast<Cycles>(i * 100),
                   [&order, i] { order.push_back(i); });
   }
-  engine::WindowDriver driver({&q}, /*lookahead=*/100,
-                              {/*drain=*/[](int) {}, nullptr, nullptr});
+  engine::WindowDriver driver({&q}, /*lookahead=*/100, {});
+  EXPECT_TRUE(driver.run(Cycles{1} << 30));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(driver.windows(), 1u);
+}
+
+TEST(WindowDriver, SinglePartitionFixedWindowsStepByLookahead) {
+  // Same workload under the fixed policy: every window is one lookahead
+  // wide, so the 500-cycle span costs at least five windows.
+  engine::EventQueue q;
+  std::vector<int> order;
+  for (int i = 5; i >= 1; --i) {
+    q.schedule_at(static_cast<Cycles>(i * 100),
+                  [&order, i] { order.push_back(i); });
+  }
+  engine::WindowDriver driver({&q}, /*lookahead=*/100, {},
+                              WindowPolicy::kFixed);
   EXPECT_TRUE(driver.run(Cycles{1} << 30));
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
   EXPECT_GE(driver.windows(), 5u);
+}
+
+TEST(WindowDriver, AdaptiveWindowEndFollowsSendBound) {
+  // A partition that publishes "my earliest send is head-of-queue plus a
+  // 30-cycle transmit floor" (the shape Machine derives from
+  // Network::min_tx_cycles) gets adaptive windows of head + 30 + lookahead:
+  // wider than fixed windows (which end at head + lookahead) but far from
+  // the single-window collapse.
+  auto run_with = [](WindowPolicy policy,
+                     bool claim_sends) -> std::uint64_t {
+    engine::EventQueue q;
+    for (int i = 1; i <= 100; ++i) {
+      q.schedule_at(static_cast<Cycles>(i * 10), [] {});
+    }
+    engine::WindowDriver::Hooks hooks;
+    if (claim_sends) {
+      hooks.publish = [&q](int) {
+        engine::WindowDriver::Published pub;
+        pub.next_send = q.next_send_bound(/*floor=*/30);
+        return pub;
+      };
+    }
+    engine::WindowDriver driver({&q}, /*lookahead=*/25, std::move(hooks),
+                                policy);
+    EXPECT_TRUE(driver.run(Cycles{1} << 30));
+    return driver.windows();
+  };
+  const std::uint64_t fixed = run_with(WindowPolicy::kFixed, true);
+  const std::uint64_t adaptive = run_with(WindowPolicy::kAdaptive, true);
+  const std::uint64_t quiet = run_with(WindowPolicy::kAdaptive, false);
+  // Fixed: [head, head+25) holds two or three of the 10-apart events.
+  // Adaptive: [head, head+30+25) holds five — strictly fewer windows.
+  EXPECT_LT(adaptive, fixed);
+  EXPECT_GT(adaptive, 1u);
+  EXPECT_EQ(quiet, 1u);
 }
 
 TEST(WindowDriver, StopsAtMaxCycles) {
@@ -148,8 +201,25 @@ TEST(WindowDriver, StopsAtMaxCycles) {
   int fired = 0;
   q.schedule_at(50, [&fired] { ++fired; });
   q.schedule_at(5000, [&fired] { ++fired; });
-  engine::WindowDriver driver({&q}, /*lookahead=*/10,
-                              {[](int) {}, nullptr, nullptr});
+  // Fixed policy: without a publish hook the adaptive policy would run the
+  // 5000-cycle event's window to the horizon; here the point is the
+  // max_cycles cut between the two events.
+  engine::WindowDriver driver({&q}, /*lookahead=*/10, {},
+                              WindowPolicy::kFixed);
+  EXPECT_FALSE(driver.run(/*max_cycles=*/100));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  q.clear();
+}
+
+TEST(WindowDriver, AdaptiveStopsAtMaxCyclesBeforeFiringPastIt) {
+  // The adaptive horizon window must still respect max_cycles: the second
+  // event lies past the deadline and must stay pending.
+  engine::EventQueue q;
+  int fired = 0;
+  q.schedule_at(50, [&fired] { ++fired; });
+  q.schedule_at(5000, [&fired] { ++fired; });
+  engine::WindowDriver driver({&q}, /*lookahead=*/10, {});
   EXPECT_FALSE(driver.run(/*max_cycles=*/100));
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(q.pending(), 1u);
@@ -158,8 +228,9 @@ TEST(WindowDriver, StopsAtMaxCycles) {
 
 TEST(WindowDriver, CrossPartitionPingPongDeliversEverything) {
   // Two partitions exchange records through TimedChannels with the hook
-  // structure Machine::run_parallel uses: each push lands at send-time + L
-  // (the conservative bound), each drain happens at a window start.
+  // structure Machine::run_parallel uses: pushes land at send-time + L (the
+  // conservative bound), publish seals the window's batch and reports the
+  // head-of-queue send bound, drain splices sealed batches at window start.
   constexpr Cycles kLookahead = 100;
   constexpr int kRounds = 50;
 
@@ -179,15 +250,25 @@ TEST(WindowDriver, CrossPartitionPingPongDeliversEverything) {
   };
   q[0].schedule_at(1, [&receive] { receive(0, 0); });
 
-  engine::WindowDriver driver(
-      {&q[0], &q[1]}, kLookahead,
-      {/*drain=*/[&](int p) {
-         chan[p].drain([&, p](Cycles when, std::uint64_t key, int&& round) {
-           q[p].schedule_wire(when, key,
-                              [&receive, p, round] { receive(p, round); });
-         });
-       },
-       nullptr, nullptr});
+  engine::WindowDriver::Hooks hooks;
+  hooks.publish = [&](int p) {
+    engine::WindowDriver::Published pub;
+    pub.in_flight = chan[1 - p].seal();
+    // Sends happen only while events execute, so the head-of-queue time is
+    // a sound lower bound (the zero-floor version of Machine's bound).
+    pub.next_send = q[p].next_time();
+    return pub;
+  };
+  hooks.drain = [&](int p) {
+    chan[p].drain([&, p](engine::TimedChannel<int>::Batch& batch) {
+      for (auto& e : batch) {
+        const int round = e.item;
+        q[p].schedule_wire(e.when, e.key,
+                           [&receive, p, round] { receive(p, round); });
+      }
+    });
+  };
+  engine::WindowDriver driver({&q[0], &q[1]}, kLookahead, std::move(hooks));
   EXPECT_TRUE(driver.run(Cycles{1} << 30));
 
   // Rounds alternate: 0 got 0,2,4,..., 1 got 1,3,5,...
@@ -212,11 +293,13 @@ TEST(WindowDriver, WorkerHooksRunOncePerPartition) {
     queue.schedule_at(10, [] {});
     queue.schedule_at(500, [] {});
   }
-  engine::WindowDriver driver(
-      {&q[0], &q[1], &q[2]}, /*lookahead=*/7,
-      {[](int) {},
-       [&begun](int p) { ++begun[static_cast<std::size_t>(p)]; },
-       [&ended](int p) { ++ended[static_cast<std::size_t>(p)]; }});
+  engine::WindowDriver::Hooks hooks;
+  hooks.worker_begin = [&begun](int p) {
+    ++begun[static_cast<std::size_t>(p)];
+  };
+  hooks.worker_end = [&ended](int p) { ++ended[static_cast<std::size_t>(p)]; };
+  engine::WindowDriver driver({&q[0], &q[1], &q[2]}, /*lookahead=*/7,
+                              std::move(hooks));
   EXPECT_TRUE(driver.run(Cycles{1} << 30));
   EXPECT_EQ(begun, (std::vector<int>{1, 1, 1}));
   EXPECT_EQ(ended, (std::vector<int>{1, 1, 1}));
@@ -299,6 +382,42 @@ TEST(PdesEquivalence, ParallelRunIsBitIdenticalToSerial) {
       expect_equal_runs(serial, run(*wp, cfg),
                         std::string(app) + " par_cores=" +
                             std::to_string(cores));
+    }
+  }
+}
+
+TEST(PdesEquivalence, AdaptiveAndFixedWindowsMatchSerialAcrossSeeds) {
+  // The adaptive-window differential matrix: par_cores {2,3,4} x both
+  // protocols x four stress-gen seeds, each run once under the adaptive
+  // policy and once under the fixed fallback (the runtime mirror of the
+  // -DSVMSIM_PDES_WINDOW=fixed escape hatch). Every run must be
+  // byte-identical to the serial reference, and adaptive must never use
+  // more windows than fixed.
+  for (Protocol proto : {Protocol::kHLRC, Protocol::kAURC}) {
+    for (int seed : {1, 3, 5, 7}) {
+      SimConfig cfg = achievable_config();
+      cfg.comm.protocol = proto;
+      const std::string app = "stress-gen@" + std::to_string(seed);
+      auto ws = apps::make_app(app, apps::Scale::kTiny);
+      const RunResult serial = run(*ws, cfg);
+      ASSERT_TRUE(serial.validated) << app;
+      for (int cores : {2, 3, 4}) {
+        SimConfig par_cfg = cfg;
+        par_cfg.par_cores = cores;
+        const std::string label =
+            app + (proto == Protocol::kAURC ? " aurc" : " hlrc") +
+            " par_cores=" + std::to_string(cores);
+        par_cfg.pdes_window = WindowPolicy::kAdaptive;
+        auto wa = apps::make_app(app, apps::Scale::kTiny);
+        const RunResult adaptive = run(*wa, par_cfg);
+        expect_equal_runs(serial, adaptive, label + " adaptive");
+        par_cfg.pdes_window = WindowPolicy::kFixed;
+        auto wf = apps::make_app(app, apps::Scale::kTiny);
+        const RunResult fixed = run(*wf, par_cfg);
+        expect_equal_runs(serial, fixed, label + " fixed");
+        EXPECT_LE(adaptive.windows, fixed.windows) << label;
+        EXPECT_GT(adaptive.windows, 0u) << label;
+      }
     }
   }
 }

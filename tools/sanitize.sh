@@ -54,9 +54,14 @@ if [ "$mode" = "thread" ]; then
   ctest --test-dir "$build_dir" --output-on-failure \
     -R 'test_(partition|ring_queue|job_pool|determinism|machine)' "$@"
   # Whole-binary PDES pass: every sweep point on 4 partition workers, with
-  # the checker's cross-thread hooks enabled (exit 1 on any violation).
+  # the checker's cross-thread hooks enabled (exit 1 on any violation), under
+  # both the adaptive (default) window policy and the fixed fallback — the
+  # combining barrier and the batched channels must be race-free either way.
   "$build_dir/bench/sweep_dump" --par-cores=4 --check-consistency > /dev/null
-  echo "sanitize.sh: TSan arm passed (subset + sweep_dump --par-cores=4)"
+  "$build_dir/bench/sweep_dump" --par-cores=4 --pdes-window=fixed \
+    --check-consistency > /dev/null
+  echo "sanitize.sh: TSan arm passed (subset + sweep_dump --par-cores=4," \
+    "adaptive and fixed windows)"
 else
   ctest --test-dir "$build_dir" --output-on-failure "$@"
 fi
