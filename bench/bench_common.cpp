@@ -83,6 +83,27 @@ Options Options::parse(int argc, char** argv) {
   return opt;
 }
 
+int checked_total_procs(const char* argv0, const char* flag, long total,
+                        int procs_per_node) {
+  const char* prog = argv0 != nullptr ? argv0 : "bench";
+  if (total <= 0 || total > kMaxTotalProcs) {
+    std::fprintf(stderr,
+                 "%s: %s=%ld is out of range: the simulated cluster must "
+                 "have between 1 and %ld processors\n",
+                 prog, flag, total, kMaxTotalProcs);
+    std::exit(kExitBadProcs);
+  }
+  if (procs_per_node <= 0 || total % procs_per_node != 0) {
+    std::fprintf(stderr,
+                 "%s: %s=%ld is not a multiple of procs_per_node=%d: nodes "
+                 "are whole, so the cluster size must be a positive multiple "
+                 "of the processors per node\n",
+                 prog, flag, total, procs_per_node);
+    std::exit(kExitBadProcs);
+  }
+  return static_cast<int>(total);
+}
+
 SimConfig base_config() {
   SimConfig cfg;
   cfg.comm = CommParams::achievable();

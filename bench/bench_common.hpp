@@ -47,6 +47,26 @@ namespace svmsim::bench {
 /// two apart.
 inline constexpr int kExitTracedParallel = 3;
 
+/// Exit code for an invalid simulated cluster size (--pdes-procs / --procs):
+/// not a positive multiple of procs_per_node, or larger than
+/// kMaxTotalProcs. Distinct from the generic bad-flag exit(2) and from
+/// kExitTracedParallel so scripts (and the death tests) can branch on it.
+inline constexpr int kExitBadProcs = 4;
+
+/// Largest simulated cluster a bench accepts: 16384 nodes at the paper's 4
+/// processors per node. The simulator itself has no hard ceiling, but a
+/// typo'd size (e.g. a missing comma merging two list entries) would
+/// otherwise try to allocate per-node state for millions of nodes and OOM
+/// long after parse time.
+inline constexpr long kMaxTotalProcs = 65536;
+
+/// Validate a requested total_procs value against the machine granularity at
+/// CLI parse time: it must be a positive multiple of procs_per_node (nodes
+/// are whole) and at most kMaxTotalProcs. Returns the value on success;
+/// prints a diagnostic naming `flag` and exits kExitBadProcs otherwise.
+int checked_total_procs(const char* argv0, const char* flag, long total,
+                        int procs_per_node);
+
 struct Options {
   apps::Scale scale = apps::Scale::kSmall;
   std::string csv_dir;

@@ -171,7 +171,11 @@ std::optional<double> json_number_after(const std::string& text,
 /// "pdes" parallel numbers into per-window-policy subsections (adaptive vs
 /// fixed, with windows, windows_per_sec and events_per_partition_window)
 /// and added the "pdes_fig05" window probe over the host-overhead matrix.
-constexpr int kSchema = 4;
+/// v5 added allocs_per_event and peak_clock_pool (high-water pooled clock
+/// bodies, docs/scaling.md) to every pdes measurement — the allocation-free
+/// invariant tracked at --pdes-procs scale — and began preserving the
+/// bench_scale "scale" section across rewrites.
+constexpr int kSchema = 5;
 
 }  // namespace
 
@@ -190,7 +194,7 @@ int main(int argc, char** argv) {
   // Previous numbers (if any) for the before/after comparison. Degrade
   // gracefully: a missing or older-schema file only skips the comparison.
   std::optional<double> prev_eps, prev_ape;
-  std::optional<std::string> micro_section, overhead_section;
+  std::optional<std::string> micro_section, overhead_section, scale_section;
   {
     std::ifstream prev(out_path);
     if (!prev) {
@@ -217,6 +221,7 @@ int main(int argc, char** argv) {
       // Keep the other tools' sections (if any) across our rewrite.
       micro_section = harness::json_object_section(text, "micro_event_queue");
       overhead_section = harness::json_object_section(text, "trace_overhead");
+      scale_section = harness::json_object_section(text, "scale");
     }
   }
 
@@ -276,9 +281,13 @@ int main(int argc, char** argv) {
   // --pdes-procs grows the simulated cluster (keeping the paper's 4 procs
   // per node): more nodes means more events inside each conservative window,
   // which is the regime the PDES mode exists for. 0 keeps the default.
-  const int pdes_procs = static_cast<int>(cli.get_int("pdes-procs", 0));
   SimConfig pdes_base = bench::base_config();
-  if (pdes_procs > 0) pdes_base.comm.total_procs = pdes_procs;
+  if (auto procs_arg = cli.get("pdes-procs")) {
+    pdes_base.comm.total_procs = bench::checked_total_procs(
+        argc > 0 ? argv[0] : nullptr, "--pdes-procs",
+        std::strtol(procs_arg->c_str(), nullptr, 10),
+        pdes_base.comm.procs_per_node);
+  }
   std::fprintf(stderr, "perf_selfcheck: pdes arm: %s on %d procs, serial "
                "then --par-cores=%d (adaptive, then fixed windows)\n",
                pdes_app.c_str(), pdes_base.comm.total_procs, pdes_cores);
@@ -362,6 +371,8 @@ int main(int argc, char** argv) {
   const auto policy_json = [&json](const char* name, const PolicyRun& r) {
     json << "\"" << name << "\": {\"wall_seconds\": " << r.m.wall_seconds
          << ", \"events_per_sec\": " << r.m.events_per_sec()
+         << ", \"allocs_per_event\": " << r.m.allocs_per_event()
+         << ", \"peak_clock_pool\": " << r.result.peak_clock_pool
          << ", \"windows\": " << r.result.windows
          << ", \"windows_per_sec\": " << r.windows_per_sec()
          << ", \"events_per_partition_window\": "
@@ -375,6 +386,8 @@ int main(int argc, char** argv) {
        << ", \"partitions\": " << pdes_adaptive.result.partition_events.size()
        << ", \"serial_wall_seconds\": " << pdes_serial_m.wall_seconds
        << ", \"serial_events_per_sec\": " << pdes_serial_m.events_per_sec()
+       << ", \"serial_allocs_per_event\": " << pdes_serial_m.allocs_per_event()
+       << ", \"serial_peak_clock_pool\": " << pdes_serial.peak_clock_pool
        << ", ";
   policy_json("adaptive", pdes_adaptive);
   json << ", ";
@@ -398,6 +411,9 @@ int main(int argc, char** argv) {
   }
   if (overhead_section) {
     json << ",\n  \"trace_overhead\": " << *overhead_section;
+  }
+  if (scale_section) {
+    json << ",\n  \"scale\": " << *scale_section;
   }
   json << "\n}\n";
   harness::write_file_atomic(out_path, json.str());
@@ -438,6 +454,12 @@ int main(int argc, char** argv) {
       pdes_app.c_str(), pdes_serial_m.wall_seconds, pdes_cores,
       pdes_adaptive.m.wall_seconds, pdes_speedup,
       pdes_adaptive.result.partition_events.size(), pdes_same ? "yes" : "NO");
+  std::printf(
+      "pdes footprint: %.3f allocs/event serial, peak pooled clock bodies "
+      "%llu serial / %llu adaptive\n",
+      pdes_serial_m.allocs_per_event(),
+      static_cast<unsigned long long>(pdes_serial.peak_clock_pool),
+      static_cast<unsigned long long>(pdes_adaptive.result.peak_clock_pool));
   std::printf(
       "pdes windows: adaptive %llu vs fixed %llu (%.1fx fewer; %.1f events "
       "per partition-window adaptive, %.1f fixed)\n",

@@ -21,9 +21,15 @@
 // With --apps=a,b,c the sweep is restricted to that comma list (any
 // apps::make_app name, including stress-gen@<seed>).
 //
+// With --procs=N every run simulates an N-processor cluster instead of the
+// paper's 16 (validated like every procs flag: exit 4 when out of range or
+// not a multiple of procs_per_node) — the large-machine equivalence arms of
+// tools/pdes_equivalence.sh and tools/sanitize.sh use this.
+//
 // Keep the format append-only: the equivalence check compares byte-for-byte.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "bench_common.hpp"
@@ -45,13 +51,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  SimConfig base = bench::base_config();
+  if (auto procs_arg = cli.get("procs")) {
+    base.comm.total_procs = bench::checked_total_procs(
+        argc > 0 ? argv[0] : "sweep_dump", "--procs",
+        std::strtol(procs_arg->c_str(), nullptr, 10),
+        base.comm.procs_per_node);
+  }
+
   harness::Sweep sweep(apps::Scale::kTiny);
 
   std::vector<harness::SweepPoint> points;
   for (Protocol proto : {Protocol::kHLRC, Protocol::kAURC}) {
     for (const std::string& app : app_list) {
       for (double overhead : {0.0, 1000.0}) {
-        SimConfig cfg = bench::base_config();
+        SimConfig cfg = base;
         cfg.comm.protocol = proto;
         cfg.comm.host_overhead = static_cast<Cycles>(overhead);
         cfg.check.enabled = check;

@@ -102,6 +102,17 @@ class Machine {
   }
   /// Events fired across all partitions.
   [[nodiscard]] std::uint64_t events_fired();
+  /// High-water mark of simultaneously outstanding pooled clock bodies
+  /// (full clocks + deltas, summed over partitions): the sparse-transport
+  /// footprint figure perf_selfcheck records per scale point.
+  [[nodiscard]] std::uint64_t peak_clock_pool() const noexcept {
+    std::uint64_t peak = 0;
+    for (const svm::ProtocolPools& p : pools_) {
+      peak += p.vclocks.peak_outstanding() +
+              p.clock_deltas.peak_outstanding();
+    }
+    return peak;
+  }
   /// Conservative windows executed by run_parallel (sync-overhead figure).
   [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
 

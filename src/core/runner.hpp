@@ -46,6 +46,11 @@ struct RunResult {
   /// one entry and zero windows.
   std::vector<std::uint64_t> partition_events;
   std::uint64_t windows = 0;
+  /// High-water mark of simultaneously outstanding pooled clock bodies
+  /// (full vector clocks + sparse deltas, summed over partitions). A host
+  /// diagnostic, not simulated state: serial and PDES runs of one point may
+  /// legitimately differ here, so it is excluded from bit-identity checks.
+  std::uint64_t peak_clock_pool = 0;
 
   /// Per-processor rate of `events` per million compute cycles, averaged
   /// over processors — the normalization used by Table 2 / Figures 3-4.

@@ -67,10 +67,27 @@ Cache::Victim Cache::fill(std::uint64_t line_addr, bool dirty) {
 
 void Cache::invalidate_range(std::uint64_t start, std::uint64_t len) {
   const std::uint64_t end = start + len;
-  for (auto& l : lines_) {
-    if (l.valid && l.addr >= start && l.addr < end) {
-      l.valid = false;
-      l.dirty = false;
+  const std::uint64_t lb = params_.line_bytes;
+  // Every resident addr is line-aligned (fills always pass ln * line_bytes),
+  // so probing the aligned addresses of [start, end) drops exactly the lines
+  // a full scan would: O(range / line) set probes instead of O(cache size)
+  // per SVM page invalidation. Ranges wider than the tag store fall back to
+  // the scan.
+  std::uint64_t a = start + (lb - start % lb) % lb;
+  if (a >= end) return;
+  if ((end - a) / lb >= lines_.size()) {
+    for (auto& l : lines_) {
+      if (l.valid && l.addr >= start && l.addr < end) {
+        l.valid = false;
+        l.dirty = false;
+      }
+    }
+    return;
+  }
+  for (; a < end; a += lb) {
+    if (Line* l = find(a)) {
+      l->valid = false;
+      l->dirty = false;
     }
   }
 }

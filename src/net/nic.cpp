@@ -94,6 +94,9 @@ engine::Task<void> Nic::post(Message m) {
     send_space_.reset();
     co_await send_space_.wait();
   }
+  // The enqueue hook runs with no suspension point between it and
+  // push_back below: its per-edge encoding order is the launch order.
+  if (on_enqueue) on_enqueue(m);
   if (m.type == MsgType::kUpdate) {
     ++counters_->updates_sent;
     counters_->update_bytes += m.payload_bytes;

@@ -28,16 +28,17 @@ enum class PageState : std::uint8_t {
   kReadWrite,  ///< valid, being written this interval (twin exists off-home)
 };
 
+// Transient protocol state (in-flight fetch/flush markers, the propagate
+// dedup stamp) lives in dense per-agent tables (SvmAgent), not here: the hot
+// paths that scan many pages per operation walk structure-of-arrays tables
+// sized once per run instead of striding through these fat records.
 struct PageCopy {
   PageState state = PageState::kUnmapped;
   std::vector<std::byte> data;
   core::PoolRef<core::PooledBytes> twin;  ///< HLRC write twin (pooled)
   bool dirty = false;       ///< written since the last flush
   bool au_active = false;   ///< AURC: stores stream automatic updates
-  bool fetching = false;    ///< a fetch for this page is in flight
-  bool flushing = false;    ///< a diff/update flush for this page is in flight
   std::uint32_t inval_gen = 0;  ///< bumped on every invalidation (see fetch)
-  std::uint32_t flush_epoch = 0;  ///< last propagate pass that visited us
 };
 
 /// Home placement policy for an allocation.

@@ -14,6 +14,10 @@ using engine::Task;
 void AurcAgent::install() {
   SvmAgent::install();
   comm_->set_on_update([this](const net::Message& m) { apply_update(m); });
+  // Size the AU run table and touched-home flags once (run_of still grows
+  // lazily for pages allocated mid-run; the node count never changes).
+  runs_.resize(static_cast<std::size_t>(space_->page_count()));
+  home_touched_.resize(static_cast<std::size_t>(space_->nodes()), 0);
 }
 
 Task<void> AurcAgent::arm_write(Processor& p, PageId page, PageCopy& c) {
@@ -34,9 +38,6 @@ void AurcAgent::on_store(Processor& p, PageId page, PageCopy& c,
   (void)p;
   if (!c.au_active) return;
   const NodeId h = home_of(page);
-  if (home_touched_.size() < static_cast<std::size_t>(space_->nodes())) {
-    home_touched_.resize(static_cast<std::size_t>(space_->nodes()), 0);
-  }
   if (!home_touched_[static_cast<std::size_t>(h)]) {
     home_touched_[static_cast<std::size_t>(h)] = 1;
     homes_touched_.push_back(h);
@@ -128,9 +129,10 @@ Task<void> AurcAgent::propagate_dirty(Processor& p,
   flush_in_flight_.clear();
   const std::uint32_t epoch = ++flush_epoch_;  // dedups the dirty list
   for (PageId page : pages) {
+    std::uint32_t& stamp = flush_epoch_of(page);
+    if (stamp == epoch) continue;
+    stamp = epoch;
     PageCopy& c = space_->copy(self_, page);
-    if (c.flush_epoch == epoch) continue;
-    c.flush_epoch = epoch;
     // See HlrcAgent::propagate_dirty: wait for in-flight flushes first.
     co_await wait_page_flush(p, page);
     if (!c.dirty) continue;

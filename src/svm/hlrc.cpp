@@ -88,6 +88,7 @@ SvmAgent::SvmAgent(engine::Simulator& sim, const SimConfig& cfg, NodeId self,
       vc_(space.nodes()),
       node_flush_done_(sim),
       inval_scratch_(static_cast<std::size_t>(procs_on_node)),
+      peers_(static_cast<std::size_t>(space.nodes())),
       barrier_done_(sim),
       barrier_release_(sim),
       barrier_merged_(space.nodes()) {}
@@ -99,6 +100,145 @@ void SvmAgent::install() {
   comm_->direct_handler = [this](net::Message&& m) {
     handle_direct(std::move(m));
   };
+  comm_->on_deliver = [this](net::Message& m) { expand_clock(m); };
+  comm_->set_on_enqueue([this](net::Message& m) { encode_clock(m); });
+  // Size the per-page SoA tables once for the pages allocated up front
+  // (apps allocate before the run starts; the slot accessors still grow
+  // lazily if one allocates mid-run).
+  const auto pages = static_cast<std::size_t>(space_->page_count());
+  pending_fetch_.resize(pages, nullptr);
+  pending_flush_.resize(pages, nullptr);
+  flush_epoch_by_page_.resize(pages, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse clock transport (docs/scaling.md)
+// ---------------------------------------------------------------------------
+
+SvmAgent::PeerClocks& SvmAgent::peer(NodeId n) {
+  std::unique_ptr<PeerClocks>& slot = peers_[static_cast<std::size_t>(n)];
+  if (!slot) slot = std::make_unique<PeerClocks>(space_->nodes());
+  return *slot;
+}
+
+void SvmAgent::encode_clock(net::Message& m) {
+  VClock* last;
+  switch (m.type) {
+    case net::MsgType::kLockAcquire:
+    case net::MsgType::kTokenReturn:
+      last = &peer(m.dst).out_sync;
+      break;
+    case net::MsgType::kBarrierArrive:
+      last = &peer(m.dst).out_barrier;
+      break;
+    default:
+      return;
+  }
+  const VClock& sent = vclock_body(m.body);
+  VClockDeltaRef d = pools_->clock_delta();
+  // Entries are *differences*, not advances: two processors can construct
+  // messages in one order and enqueue them in the other, so successive
+  // clocks on an edge need not be monotone. Plain set() on both caches
+  // keeps the receiver's mirror exact either way.
+  if (!(sent == *last)) {  // summary + memcmp short-circuit
+    const std::uint32_t* s = sent.data();
+    const std::uint32_t* l = last->data();
+    const int n = sent.size();
+    for (int i = 0; i < n; ++i) {
+      if (s[i] != l[i]) {
+        d->entries.push_back({static_cast<NodeId>(i), s[i]});
+        last->set(static_cast<NodeId>(i), s[i]);
+      }
+    }
+  }
+  if (sim_->checker() != nullptr) d->shadow = sent;
+  m.body = std::move(d);  // drops the full-clock body reference
+}
+
+VClockDeltaRef SvmAgent::encode_reply_delta(const VClock& base,
+                                            const VClock& target) {
+  VClockDeltaRef d = pools_->clock_delta();
+  const std::uint32_t* b = base.data();
+  const std::uint32_t* t = target.data();
+  const int n = base.size();
+  for (int i = 0; i < n; ++i) {
+    if (t[i] > b[i]) d->entries.push_back({static_cast<NodeId>(i), t[i]});
+  }
+  if (sim_->checker() != nullptr) {
+    d->shadow = base;
+    d->shadow.merge(target);
+  }
+  return d;
+}
+
+void SvmAgent::check_expansion(const VClockDeltaBody& d,
+                               const VClock& got) const {
+  if (d.shadow.size() == 0 || got == d.shadow) return;
+  std::fprintf(stderr,
+               "[svmsim] node %d: clock delta expansion mismatch\n"
+               "  expanded %s\n  expected %s\n",
+               self_, got.to_string().c_str(), d.shadow.to_string().c_str());
+  std::abort();
+}
+
+void SvmAgent::expand_clock(net::Message& m) {
+  switch (m.type) {
+    case net::MsgType::kLockAcquire: {
+      const VClockDeltaBody& d = vclock_delta_body(m.body);
+      VClock& in = peer(m.src).in_sync;
+      for (const VClockDeltaBody::Entry& e : d.entries) in.set(e.node, e.value);
+      check_expansion(d, in);
+      // The grant may be issued long after later traffic moves this edge
+      // cache on; the request keeps its own copy of the expanded clock.
+      m.body = pools_->vclock(in);
+      break;
+    }
+    case net::MsgType::kTokenReturn: {
+      const VClockDeltaBody& d = vclock_delta_body(m.body);
+      VClock& in = peer(m.src).in_sync;
+      for (const VClockDeltaBody::Entry& e : d.entries) in.set(e.node, e.value);
+      check_expansion(d, in);
+      break;  // the handler never reads the body; the delta recycles with it
+    }
+    case net::MsgType::kBarrierArrive: {
+      const VClockDeltaBody& d = vclock_delta_body(m.body);
+      VClock& in = peer(m.src).in_barrier;
+      for (const VClockDeltaBody::Entry& e : d.entries) in.set(e.node, e.value);
+      check_expansion(d, in);
+      break;  // barrier() reads the delta entries for the incremental merge
+    }
+    case net::MsgType::kBarrierRelease: {
+      const VClockDeltaBody& d = vclock_delta_body(m.body);
+      assert(barrier_sent_ && "release without an outstanding arrival");
+      VClock& vc = barrier_sent_->vc;
+      for (const VClockDeltaBody::Entry& e : d.entries) vc.set(e.node, e.value);
+      check_expansion(d, vc);
+      m.body = std::move(barrier_sent_);
+      break;
+    }
+    case net::MsgType::kLockGrant: {
+      const VClockDeltaBody& d = vclock_delta_body(m.body);
+      for (std::size_t i = 0; i < grant_bases_.size(); ++i) {
+        if (grant_bases_[i].first != m.rpc_id) continue;
+        VClockRef base = std::move(grant_bases_[i].second);
+        grant_bases_[i] = std::move(grant_bases_.back());
+        grant_bases_.pop_back();
+        VClock& vc = base->vc;
+        // Reply-relative entries always advance past the base (the home
+        // computed them against this very clock).
+        for (const VClockDeltaBody::Entry& e : d.entries) {
+          vc.set(e.node, e.value);
+        }
+        check_expansion(d, vc);
+        m.body = std::move(base);
+        return;
+      }
+      assert(false && "lock grant with no registered request clock");
+      break;
+    }
+    default:
+      break;
+  }
 }
 
 void SvmAgent::dump_lock_state() const {
@@ -151,6 +291,14 @@ engine::Trigger*& SvmAgent::flush_slot(PageId page) {
   return pending_flush_[static_cast<std::size_t>(page)];
 }
 
+std::uint32_t& SvmAgent::flush_epoch_of(PageId page) {
+  if (flush_epoch_by_page_.size() <= page) {
+    flush_epoch_by_page_.resize(
+        std::max<std::size_t>(space_->page_count(), page + 1), 0);
+  }
+  return flush_epoch_by_page_[static_cast<std::size_t>(page)];
+}
+
 // ---------------------------------------------------------------------------
 // Page access
 // ---------------------------------------------------------------------------
@@ -183,11 +331,11 @@ Task<PageCopy*> SvmAgent::ensure_valid(Processor& p, PageId page,
       c.state = PageState::kReadOnly;  // home pages map without protocol
       co_return &c;
     }
-    if (c.fetching) {
+    if (engine::Trigger* t = fetch_slot(page)) {
       // Another processor of this node already requested the page; wait for
       // its fetch instead of issuing a duplicate (fault coalescing). The
       // episode handle stays valid after the fetcher recycles the trigger.
-      engine::Episode ep(*fetch_slot(page));
+      engine::Episode ep(*t);
       const Cycles t0 = co_await p.wait_begin();
       co_await ep.wait();
       p.wait_end(TimeCat::kDataWait, t0);
@@ -242,7 +390,6 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
   }
 
   SVMSIM_DBG_EVT(page, "fetch issued (gen=%u)", c.inval_gen);
-  c.fetching = true;
   assert(fetch_slot(page) == nullptr && "duplicate fetch for a page");
   fetch_slot(page) = pools_->triggers.acquire();
   const std::uint32_t gen_at_start = c.inval_gen;
@@ -287,7 +434,6 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
                         ? check::PageEvent::kFetchInstall
                         : check::PageEvent::kFetchInstallStale);
   c.state = installed;
-  c.fetching = false;
   engine::Trigger* t = fetch_slot(page);
   fetch_slot(page) = nullptr;
   t->complete();  // wakes coalesced waiters, invalidates their episodes
@@ -295,14 +441,11 @@ Task<void> SvmAgent::fetch_page(Processor& p, PageId page, PageCopy& c) {
 }
 
 void SvmAgent::begin_page_flush(PageId page) {
-  PageCopy& c = space_->copy(self_, page);
   if (dbg_flush()) {
-    std::fprintf(stderr, "[n=%d] begin_page_flush pg=%llu (was %d)\n", self_,
-                 (unsigned long long)page, (int)c.flushing);
+    std::fprintf(stderr, "[n=%d] begin_page_flush pg=%llu\n", self_,
+                 (unsigned long long)page);
   }
-  assert(!c.flushing && "overlapping flushes of one page");
-  c.flushing = true;
-  assert(flush_slot(page) == nullptr);
+  assert(flush_slot(page) == nullptr && "overlapping flushes of one page");
   flush_slot(page) = pools_->triggers.acquire();
 }
 
@@ -311,7 +454,6 @@ void SvmAgent::end_page_flush(PageId page) {
     std::fprintf(stderr, "[n=%d] end_page_flush pg=%llu\n", self_,
                  (unsigned long long)page);
   }
-  space_->copy(self_, page).flushing = false;
   engine::Trigger* t = flush_slot(page);
   if (t == nullptr) return;
   flush_slot(page) = nullptr;
@@ -320,13 +462,15 @@ void SvmAgent::end_page_flush(PageId page) {
 }
 
 engine::Task<void> SvmAgent::wait_page_flush(Processor& p, PageId page) {
-  while (space_->copy(self_, page).flushing) {
+  for (;;) {
+    engine::Trigger* t = flush_slot(page);
+    if (t == nullptr) co_return;
     if (dbg_flush()) {
       std::fprintf(stderr, "[t=%llu n=%d p=%d] wait_page_flush pg=%llu\n",
                    (unsigned long long)sim_->now(), self_, p.id(),
                    (unsigned long long)page);
     }
-    engine::Episode ep(*flush_slot(page));
+    engine::Episode ep(*t);
     const Cycles t0 = co_await p.wait_begin();
     co_await ep.wait();
     p.wait_end(TimeCat::kProtocol, t0);
@@ -534,8 +678,14 @@ SvmAgent::LockProxy& SvmAgent::proxy(int lock) {
   LockProxy& lp = lock_proxies_[static_cast<std::size_t>(lock)];
   if (!lp.init) {
     lp.init = true;
-    // The home owns an untouched lock's token.
-    lp.token = shared_->locks.ensure_owner(lock).owner == self_;
+    // The home owns an untouched lock's token, so a non-home node starts
+    // without it — decided from home_of alone, WITHOUT reading the home
+    // state: `owner` belongs to the home's partition, and a node that has
+    // never touched this lock cannot be its owner anyway (a grant answers a
+    // kLockAcquire, which this proxy init precedes). The home's own read is
+    // partition-local.
+    lp.token = shared_->locks.home_of(lock) == self_ &&
+               shared_->locks.state(lock).owner == self_;
   }
   return lp;
 }
@@ -584,6 +734,9 @@ Task<void> SvmAgent::acquire_lock(Processor& p, int lock) {
       charge_send(p);
       co_await p.drain();
       const std::uint64_t id = comm_->rpc_post(m);
+      // The grant comes back relative to this request's clock; keep a
+      // reference so expand_clock can reconstruct the full grant clock.
+      grant_bases_.push_back({id, std::get<VClockRef>(m.body)});
       co_await comm_->send(std::move(m));
       const Cycles t0 = sim_->now();
       net::Message grant = co_await comm_->await_reply(id);
@@ -684,27 +837,39 @@ Task<void> SvmAgent::barrier(Processor& p) {
     co_await shared_->hub.collect(barrier_arrivals_);
     p.wait_end(TimeCat::kBarrierWait, t0);
 
-    barrier_merged_ = vc_;
+    // Incremental reduction: merged_{k-1} survives from the last episode,
+    // and every episode-k clock covers it (each representative applied
+    // invalidations with merged_{k-1} before leaving episode k-1), so
+    // folding in vc_ plus each arrival's *delta entries* reproduces the
+    // full N-clock gather-merge byte for byte — in O(changes), not
+    // O(nodes^2).
+    barrier_merged_.merge(vc_);
     for (const auto& a : barrier_arrivals_) {
-      barrier_merged_.merge(vclock_body(a.body));
+      const VClockDeltaBody& d = vclock_delta_body(a.body);
+      for (const VClockDeltaBody::Entry& e : d.entries) {
+        // Guarded: an edge-cache delta records any change vs the last
+        // arrival, and a component can lag the running merge.
+        if (e.value > barrier_merged_.get(e.node)) {
+          barrier_merged_.set(e.node, e.value);
+        }
+      }
     }
-    // One pooled body serves every release message (references share it).
-    VClockRef merged_body = pools_->vclock(barrier_merged_);
     for (const auto& a : barrier_arrivals_) {
-      const VClock& their_vc = vclock_body(a.body);
+      // in_barrier mirrors a.src's arrival clock exactly and cannot move
+      // until a.src re-arrives, which needs this very release first.
+      const VClock& their_vc = peer(a.src).in_barrier;
       const std::uint64_t notices =
           shared_->dir.count_notices(their_vc, barrier_merged_);
       net::Message rel;
       rel.type = net::MsgType::kBarrierRelease;
       rel.dst = a.src;
       rel.payload_bytes = vclock_wire_bytes() + 8 * notices;
-      rel.body = merged_body;
+      rel.body = encode_reply_delta(their_vc, barrier_merged_);
       charge_send(p);
       co_await p.drain();
       co_await comm_->send(std::move(rel));
     }
     barrier_arrivals_.clear();  // drops the arrival bodies back to the pool
-    merged_body.reset();
     co_await apply_invalidations(p, barrier_merged_);
     SVMSIM_CHECK_HOOK(*sim_, on_barrier_exit, sim_->now(), self_, vc_);
   } else {
@@ -713,7 +878,10 @@ Task<void> SvmAgent::barrier(Processor& p) {
     arr.type = net::MsgType::kBarrierArrive;
     arr.dst = shared_->hub.manager();
     arr.payload_bytes = vclock_wire_bytes();
-    arr.body = pools_->vclock(vc_);
+    // Keep a reference to the arrival clock: the release comes back as a
+    // delta relative to it (expand_clock resolves it through barrier_sent_).
+    barrier_sent_ = pools_->vclock(vc_);
+    arr.body = barrier_sent_;
     charge_send(p);
     co_await p.drain();
     co_await comm_->send(std::move(arr));
@@ -825,7 +993,7 @@ Task<void> SvmAgent::grant_lock(net::Message req) {
   g.type = net::MsgType::kLockGrant;
   g.lock_id = req.lock_id;
   g.payload_bytes = vclock_wire_bytes() + 8 * notices;
-  g.body = pools_->vclock(s.vc);
+  g.body = encode_reply_delta(vclock_body(req.body), s.vc);
   co_await comm_->reply(req, std::move(g));
   // Pipeline the next handoff if more requesters are queued.
   if (!s.waiters.empty() && !s.recall_sent) {
@@ -846,7 +1014,7 @@ Task<void> SvmAgent::grant_lock(net::Message req) {
 
 Task<void> SvmAgent::handle_lock_acquire(net::Message m) {
   const int lock = m.lock_id;
-  LockHomeState& s = shared_->locks.ensure_owner(lock);
+  LockHomeState& s = shared_->locks.state(lock);
   if (s.owner == self_) {
     LockProxy& lp = proxy(lock);
     SVMSIM_DBG_LK(lock, "acquire request from node %d (owner=self)", m.src);
@@ -900,7 +1068,7 @@ Task<void> SvmAgent::handle_token_return(net::Message m) {
   const int lock = m.lock_id;
   SVMSIM_DBG_LK(lock, "token returned");
   assert(lock >= 0);
-  LockHomeState& s = shared_->locks.ensure_owner(lock);
+  LockHomeState& s = shared_->locks.state(lock);
   s.recall_sent = false;
   if (!s.waiters.empty()) {
     net::Message req = std::move(s.waiters.front());
@@ -944,13 +1112,15 @@ void HlrcAgent::make_diff(Processor& p, PageId page, PageCopy& c,
   c.twin.reset();
 }
 
+void HlrcAgent::install() {
+  SvmAgent::install();
+  // Per-home batch tables, sized once: the node count never changes.
+  batch_by_home_.resize(static_cast<std::size_t>(space_->nodes()));
+  batch_bytes_.resize(static_cast<std::size_t>(space_->nodes()), 0);
+}
+
 Task<void> HlrcAgent::propagate_dirty(Processor& p,
                                       const std::vector<PageId>& pages) {
-  const auto nodes = static_cast<std::size_t>(space_->nodes());
-  if (batch_by_home_.size() < nodes) {
-    batch_by_home_.resize(nodes);
-    batch_bytes_.resize(nodes, 0);
-  }
   batch_homes_.clear();
   flush_in_flight_.clear();
   rpc_ids_.clear();
@@ -961,9 +1131,10 @@ Task<void> HlrcAgent::propagate_dirty(Processor& p,
   bool dropped_diff = false;  // kLostDiff fault injection, one per pass
 
   for (PageId page : pages) {
+    std::uint32_t& stamp = flush_epoch_of(page);
+    if (stamp == epoch) continue;
+    stamp = epoch;
     PageCopy& c = space_->copy(self_, page);
-    if (c.flush_epoch == epoch) continue;
-    c.flush_epoch = epoch;
     // Always serialize behind an in-flight flush of this page first: a
     // concurrent flush_page_for_invalidation may be carrying *this
     // release's* writes, and the release is not complete until they are

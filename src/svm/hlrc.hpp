@@ -28,6 +28,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/params.hpp"
@@ -137,6 +139,38 @@ class SvmAgent {
   // Acquire-time invalidations.
   engine::Task<void> apply_invalidations(Processor& p, const VClock& target);
 
+  // Sparse clock transport (docs/scaling.md). Clock-bearing requests
+  // (kLockAcquire, kTokenReturn, kBarrierArrive) all have the same wire
+  // size, so per (src, dst) edge they complete in send order; the sender
+  // rewrites the full pooled clock into the entries that differ from the
+  // previous clock message on that edge (encode_clock, at the NI enqueue
+  // point) and the receiver replays them into its mirror cache in arrival
+  // order (expand_clock, at dispatch). Barrier arrivals use a separate
+  // cache class so an arrival delta is exactly "what changed since this
+  // node's previous arrival" — the incremental barrier reduction merges
+  // only those pairs. Variable-size replies (kLockGrant, kBarrierRelease)
+  // are instead encoded relative to the clock carried by the request they
+  // answer, which both sides hold.
+  struct PeerClocks {
+    explicit PeerClocks(int nodes)
+        : out_sync(nodes),
+          out_barrier(nodes),
+          in_sync(nodes),
+          in_barrier(nodes) {}
+    VClock out_sync;     ///< last sync-class clock sent to this peer
+    VClock out_barrier;  ///< last barrier arrival sent to this peer
+    VClock in_sync;      ///< last sync-class clock received from this peer
+    VClock in_barrier;   ///< last barrier arrival received from this peer
+  };
+  [[nodiscard]] PeerClocks& peer(NodeId n);
+  void encode_clock(net::Message& m);  // full body -> delta (sender NI)
+  void expand_clock(net::Message& m);  // delta -> full clock (receiver)
+  /// Delta of `target` past `base` (reply encoding: base is the answered
+  /// request's clock, which the receiver still holds).
+  [[nodiscard]] VClockDeltaRef encode_reply_delta(const VClock& base,
+                                                  const VClock& target);
+  void check_expansion(const VClockDeltaBody& d, const VClock& got) const;
+
   // Incoming request handlers (interrupt context).
   engine::Task<void> handle_request(net::Message m);
   virtual void handle_direct(net::Message&& m);
@@ -190,28 +224,48 @@ class SvmAgent {
   /// under them; the flusher ends the episode with complete().
   engine::Trigger node_flush_done_;
   std::deque<LockProxy> lock_proxies_;  ///< by lock id; lazily grown
+  // Per-page transient protocol state, kept as structure-of-arrays tables
+  // sized once at install() (they grow lazily only if the app allocates
+  // pages mid-run): the flush/fetch paths scan many pages per operation,
+  // and striding through the fat PageCopy records for a one-word stamp or
+  // trigger pointer wastes the whole cache line.
   /// Fault coalescing: in-flight fetches, one pooled trigger slot per page.
+  /// Non-null iff a fetch for the page is in flight.
   std::vector<engine::Trigger*> pending_fetch_;
-  /// In-flight release flushes, one pooled trigger slot per page. An
-  /// invalidation of a page whose diff/updates are still in flight to the
-  /// home must wait for the ack: refetching earlier could resurrect a home
-  /// copy that misses this node's own flushed writes.
+  /// In-flight release flushes, one pooled trigger slot per page; non-null
+  /// iff a flush for the page is in flight. An invalidation of a page whose
+  /// diff/updates are still in flight to the home must wait for the ack:
+  /// refetching earlier could resurrect a home copy that misses this node's
+  /// own flushed writes.
   std::vector<engine::Trigger*> pending_flush_;
   /// Pages whose flush triggers this propagate pass owns (scratch; the pass
   /// is serialized by node_flushing_).
   std::vector<PageId> flush_in_flight_;
   /// Stamp for deduplicating the dirty list within one propagate pass
-  /// (compared against PageCopy::flush_epoch).
+  /// (compared against flush_epoch_of(page)).
   std::uint32_t flush_epoch_ = 0;
+  /// Last propagate pass that visited each page (see flush_epoch_).
+  std::vector<std::uint32_t> flush_epoch_by_page_;
   /// Per-local-processor invalidation scratch (apply_invalidations can run
   /// on several processors of the node concurrently).
   std::vector<std::vector<PageId>> inval_scratch_;
 
   engine::Trigger*& fetch_slot(PageId page);
   engine::Trigger*& flush_slot(PageId page);
+  std::uint32_t& flush_epoch_of(PageId page);
   void begin_page_flush(PageId page);
   void end_page_flush(PageId page);
   engine::Task<void> wait_page_flush(Processor& p, PageId page);
+
+  // Sparse clock transport state: per-peer edge caches (allocated on the
+  // first clock message to/from that peer — most edges never carry clock
+  // traffic), the clocks carried by outstanding lock acquires (the grant
+  // delta's reference, keyed by rpc id; at most one per local processor),
+  // and the clock this rep's barrier arrival carried (the release delta's
+  // reference, held from arrival send to release receipt).
+  std::vector<std::unique_ptr<PeerClocks>> peers_;
+  std::vector<std::pair<std::uint64_t, VClockRef>> grant_bases_;
+  VClockRef barrier_sent_;
 
   // Hierarchical-barrier state (one episode at a time).
   int barrier_arrived_ = 0;
@@ -219,12 +273,18 @@ class SvmAgent {
   engine::Trigger barrier_release_;
   net::Message barrier_release_msg_;
   std::vector<net::Message> barrier_arrivals_;  ///< manager scratch
-  VClock barrier_merged_;                       ///< manager scratch
+  /// Manager state: the running N-way merge. Persists across episodes —
+  /// every clock feeding episode k covers episode k-1's merged clock (each
+  /// rep merged it at the last release), so episode k only folds in this
+  /// episode's arrival deltas plus the manager's own clock.
+  VClock barrier_merged_;
 };
 
 class HlrcAgent final : public SvmAgent {
  public:
   using SvmAgent::SvmAgent;
+
+  void install() override;  ///< chains SvmAgent; sizes the batch tables
 
  protected:
   engine::Task<void> arm_write(Processor& p, PageId page,

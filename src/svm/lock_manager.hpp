@@ -30,7 +30,12 @@
 namespace svmsim::svm {
 
 struct LockHomeState {
-  NodeId owner = -1;        ///< node currently holding the token
+  /// Node currently holding the token. Written under the growth mutex at
+  /// slot creation (to the home), then only ever from the home node's
+  /// partition; read from the home's partition (every home handler first
+  /// re-enters state(), whose mutex orders it after creation) — non-home
+  /// nodes must not read it (SvmAgent::proxy short-circuits on home_of).
+  NodeId owner = -1;
   bool recall_sent = false; ///< a recall to `owner` is outstanding
   engine::RingQueue<net::Message> waiters;  ///< queued kLockAcquire requests
   VClock vc;                ///< timestamp of the lock's last release
@@ -55,15 +60,12 @@ class LockDirectory {
     while (locks_.size() <= static_cast<std::size_t>(lock)) {
       locks_.emplace_back();
       locks_.back().vc = VClock(nodes_);
+      // The home owns an untouched token. Initialized here, inside the
+      // growth lock, so no slot is ever visible with owner unset and the
+      // only later writers are the home's own handlers (one partition).
+      locks_.back().owner = home_of(static_cast<int>(locks_.size()) - 1);
     }
     return locks_[static_cast<std::size_t>(lock)];
-  }
-
-  /// Initialize token ownership lazily: the home owns an untouched token.
-  LockHomeState& ensure_owner(int lock) {
-    auto& s = state(lock);
-    if (s.owner < 0) s.owner = home_of(lock);
-    return s;
   }
 
  private:

@@ -26,11 +26,13 @@ struct ProtocolPools {
     vclocks.set_thread_safe(true);
     buffers.set_thread_safe(true);
     diff_batches.set_thread_safe(true);
+    clock_deltas.set_thread_safe(true);
   }
 
   core::ObjectPool<VClockBody> vclocks;
   core::ObjectPool<core::PooledBytes> buffers;
   core::ObjectPool<DiffBatchBody> diff_batches;
+  core::ObjectPool<VClockDeltaBody> clock_deltas;
   engine::TriggerPool triggers;
 
   /// A pooled vector-clock body holding a copy of `vc`.
@@ -43,6 +45,8 @@ struct ProtocolPools {
   [[nodiscard]] BytesRef bytes() { return buffers.acquire(); }
   /// An empty pooled diff batch.
   [[nodiscard]] DiffBatchRef diff_batch() { return diff_batches.acquire(); }
+  /// An empty pooled sparse clock delta.
+  [[nodiscard]] VClockDeltaRef clock_delta() { return clock_deltas.acquire(); }
 };
 
 }  // namespace svmsim::svm

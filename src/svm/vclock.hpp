@@ -1,6 +1,25 @@
 // Vector timestamps over node intervals, the partial order of lazy release
 // consistency. Entry `v[n]` is the index of the latest interval of node `n`
 // whose write notices this node has applied.
+//
+// The representation is built for large machines (docs/scaling.md): entries
+// live in a small-buffer inline array up to kInlineNodes (the paper's
+// 16-processor configs never touch the heap) with a heap spill above that,
+// and every clock maintains three summaries alongside the entries:
+//
+//   sum      the sum of all entries. Component-wise dominance implies sum
+//            dominance, so `covers` can reject on sum alone, and equal sums
+//            reduce dominance to equality (one memcmp).
+//   max      the largest entry; a second cheap dominance rejector.
+//   version  a monotonic mutation counter, bumped by every operation that
+//            may have changed a value (including copy assignment). Callers
+//            holding a reference to a clock can use it to skip re-derived
+//            state when nothing changed. The per-edge delta caches
+//            (hlrc.cpp) compare *copies*, so they short-circuit on the sum
+//            summary + memcmp (`operator==`) instead.
+//
+// The summaries are derived state: `operator==`, `covers` and `merge` are
+// value-semantics exact, and simulated results never depend on them.
 #pragma once
 
 #include <cstdint>
@@ -13,22 +32,99 @@ namespace svmsim::svm {
 
 class VClock {
  public:
-  VClock() = default;
-  explicit VClock(int nodes) : v_(static_cast<std::size_t>(nodes), 0) {}
+  /// Largest machine whose clocks stay entirely inline: 16 nodes is the
+  /// paper's machine at one processor per node, and 64 processors at the
+  /// paper's 4-per-node granularity.
+  static constexpr int kInlineNodes = 16;
 
-  [[nodiscard]] int size() const noexcept { return static_cast<int>(v_.size()); }
+  VClock() = default;
+  explicit VClock(int nodes) : size_(nodes) {
+    if (nodes > kInlineNodes) {
+      heap_.assign(static_cast<std::size_t>(nodes), 0);
+    }
+  }
+
+  VClock(const VClock& o)
+      : heap_(o.heap_), size_(o.size_), max_(o.max_), sum_(o.sum_) {
+    if (size_ <= kInlineNodes) {
+      for (int i = 0; i < size_; ++i) inline_[i] = o.inline_[i];
+    }
+  }
+  VClock(VClock&& o) noexcept = default;
+  VClock& operator=(const VClock& o) {
+    if (this != &o) {
+      size_ = o.size_;
+      if (size_ <= kInlineNodes) {
+        for (int i = 0; i < size_; ++i) inline_[i] = o.inline_[i];
+        heap_.clear();  // keep capacity for future spills
+      } else {
+        heap_ = o.heap_;
+      }
+      max_ = o.max_;
+      sum_ = o.sum_;
+      ++version_;  // own mutation counter, not copied
+    }
+    return *this;
+  }
+  VClock& operator=(VClock&& o) noexcept {
+    if (this != &o) {
+      size_ = o.size_;
+      if (size_ <= kInlineNodes) {
+        for (int i = 0; i < size_; ++i) inline_[i] = o.inline_[i];
+        heap_.clear();
+      } else {
+        heap_ = std::move(o.heap_);
+      }
+      max_ = o.max_;
+      sum_ = o.sum_;
+      ++version_;
+    }
+    return *this;
+  }
+  ~VClock() = default;
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  [[nodiscard]] const std::uint32_t* data() const noexcept {
+    return size_ <= kInlineNodes ? inline_ : heap_.data();
+  }
 
   [[nodiscard]] std::uint32_t get(NodeId n) const {
-    return v_[static_cast<std::size_t>(n)];
+    return data()[static_cast<std::size_t>(n)];
   }
   void set(NodeId n, std::uint32_t val) {
-    v_[static_cast<std::size_t>(n)] = val;
+    std::uint32_t& e = mut()[static_cast<std::size_t>(n)];
+    if (e == val) return;
+    const std::uint32_t old = e;
+    sum_ = sum_ - old + val;
+    e = val;
+    if (val > max_) {
+      max_ = val;
+    } else if (old == max_) {
+      recompute_max();
+    }
+    ++version_;
   }
-  std::uint32_t advance(NodeId n) { return ++v_[static_cast<std::size_t>(n)]; }
+  std::uint32_t advance(NodeId n) {
+    std::uint32_t& e = mut()[static_cast<std::size_t>(n)];
+    ++e;
+    ++sum_;
+    if (e > max_) max_ = e;
+    ++version_;
+    return e;
+  }
+
+  /// Sum of all entries (derived; covers/merge short-circuit on it).
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  /// Largest entry (derived).
+  [[nodiscard]] std::uint32_t max_component() const noexcept { return max_; }
+  /// Mutation counter: changes whenever a value may have changed. Never
+  /// carried by copies — each object counts its own mutations.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
   /// True if this clock has seen interval `interval` of node `n`.
   [[nodiscard]] bool covers(NodeId n, std::uint32_t interval) const {
-    return get(n) >= interval;
+    return interval == 0 || (interval <= max_ && get(n) >= interval);
   }
   /// True if this clock dominates `o` component-wise.
   [[nodiscard]] bool covers(const VClock& o) const;
@@ -36,12 +132,22 @@ class VClock {
   /// Component-wise maximum.
   void merge(const VClock& o);
 
-  [[nodiscard]] bool operator==(const VClock& o) const = default;
+  [[nodiscard]] bool operator==(const VClock& o) const;
 
   [[nodiscard]] std::string to_string() const;
 
  private:
-  std::vector<std::uint32_t> v_;
+  [[nodiscard]] std::uint32_t* mut() noexcept {
+    return size_ <= kInlineNodes ? inline_ : heap_.data();
+  }
+  void recompute_max() noexcept;
+
+  std::uint32_t inline_[kInlineNodes] = {};
+  std::vector<std::uint32_t> heap_;  // used only when size_ > kInlineNodes
+  int size_ = 0;
+  std::uint32_t max_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace svmsim::svm

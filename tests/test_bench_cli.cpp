@@ -42,6 +42,36 @@ TEST(BenchCliDeathTest, UnknownWindowPolicyExitsWithUsageCode) {
               "pdes-window");
 }
 
+TEST(BenchCliDeathTest, ZeroProcsExitsWithBadProcsCode) {
+  EXPECT_EXIT(checked_total_procs("bench_test", "--pdes-procs", 0, 4),
+              ::testing::ExitedWithCode(kExitBadProcs), "out of range");
+}
+
+TEST(BenchCliDeathTest, NegativeProcsExitsWithBadProcsCode) {
+  EXPECT_EXIT(checked_total_procs("bench_test", "--pdes-procs", -8, 4),
+              ::testing::ExitedWithCode(kExitBadProcs), "out of range");
+}
+
+TEST(BenchCliDeathTest, OverMaxProcsExitsWithBadProcsCode) {
+  EXPECT_EXIT(
+      checked_total_procs("bench_test", "--procs", kMaxTotalProcs + 1, 4),
+      ::testing::ExitedWithCode(kExitBadProcs), "between 1 and");
+}
+
+TEST(BenchCliDeathTest, IndivisibleProcsNamesFlagAndDivisor) {
+  EXPECT_EXIT(checked_total_procs("bench_test", "--pdes-procs", 10, 4),
+              ::testing::ExitedWithCode(kExitBadProcs),
+              "--pdes-procs=10 is not a multiple of procs_per_node=4");
+}
+
+TEST(BenchCli, ValidProcsPassThrough) {
+  EXPECT_EQ(checked_total_procs("bench_test", "--pdes-procs", 256, 4), 256);
+  EXPECT_EQ(checked_total_procs("bench_test", "--pdes-procs", 4, 4), 4);
+  EXPECT_EQ(checked_total_procs("bench_test", "--pdes-procs", kMaxTotalProcs,
+                                4),
+            kMaxTotalProcs);
+}
+
 TEST(BenchCli, WindowPolicyFlagParses) {
   EXPECT_EQ(parse({"--pdes-window=fixed"}).pdes_window, WindowPolicy::kFixed);
   EXPECT_EQ(parse({"--pdes-window=adaptive"}).pdes_window,

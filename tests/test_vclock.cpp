@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
 namespace svmsim::svm {
 namespace {
 
@@ -58,6 +64,156 @@ TEST(VClock, EqualityAndToString) {
   a.advance(0);
   EXPECT_NE(a, b);
   EXPECT_EQ(a.to_string(), "[1 0]");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests (fixed seed, sizes straddling the SBO boundary). These
+// model the sparse clock transport of hlrc.cpp at the VClock level: the
+// edge caches mirror each other through plain value entries, and reply
+// deltas expand to the dense merge.
+// ---------------------------------------------------------------------------
+
+const int kPropertySizes[] = {1, 4, 15, 16, 17, 64, 256};
+
+VClock random_clock(std::mt19937& rng, int nodes, std::uint32_t cap) {
+  VClock v(nodes);
+  std::uniform_int_distribution<std::uint32_t> d(0, cap);
+  for (int i = 0; i < nodes; ++i) v.set(i, d(rng));
+  return v;
+}
+
+/// Edge transport as hlrc.cpp implements it: entries are the components
+/// that differ from the sender's last-sent cache, applied with plain set()
+/// on both sides.
+struct Edge {
+  explicit Edge(int nodes) : out(nodes), in(nodes) {}
+  VClock out, in;
+
+  void send(const VClock& sent) {
+    std::vector<std::pair<NodeId, std::uint32_t>> entries;
+    if (!(sent == out)) {
+      for (int i = 0; i < sent.size(); ++i) {
+        if (sent.get(i) != out.get(i)) {
+          entries.push_back({i, sent.get(i)});
+          out.set(i, sent.get(i));
+        }
+      }
+    }
+    for (const auto& [node, value] : entries) in.set(node, value);
+  }
+};
+
+TEST(VClockProperty, EdgeDeltaRoundTripMirrorsSender) {
+  std::mt19937 rng(20260809);
+  for (int nodes : kPropertySizes) {
+    Edge edge(nodes);
+    VClock cur(nodes);
+    for (int step = 0; step < 200; ++step) {
+      // Mix monotone advances with completely fresh clocks: construction
+      // and enqueue order can invert between processors, so successive
+      // clocks on one edge are NOT monotone and entries can move down.
+      if (step % 5 == 4) {
+        cur = random_clock(rng, nodes, 8);  // out-of-order / stale clock
+      } else {
+        cur.advance(static_cast<NodeId>(step % nodes));
+        if (step % 3 == 0) cur.merge(random_clock(rng, nodes, 6));
+      }
+      edge.send(cur);
+      ASSERT_EQ(edge.in, cur) << "nodes=" << nodes << " step=" << step;
+      ASSERT_EQ(edge.in, edge.out);
+    }
+    // A repeat send encodes zero entries and still round-trips.
+    edge.send(cur);
+    EXPECT_EQ(edge.in, cur);
+  }
+}
+
+TEST(VClockProperty, ReplyDeltaExpandsToDenseMerge) {
+  std::mt19937 rng(7);
+  for (int nodes : kPropertySizes) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const VClock base = random_clock(rng, nodes, 10);
+      VClock target = random_clock(rng, nodes, 10);
+      if (trial % 4 == 0) target.merge(base);  // covering replies too
+      // Encode {i : target[i] > base[i]}, expand onto a copy of the base.
+      VClock expanded = base;
+      for (int i = 0; i < nodes; ++i) {
+        if (target.get(i) > base.get(i)) expanded.set(i, target.get(i));
+      }
+      VClock dense = base;
+      dense.merge(target);
+      ASSERT_EQ(expanded, dense) << "nodes=" << nodes << " trial=" << trial;
+      ASSERT_TRUE(expanded.covers(base));
+      ASSERT_TRUE(expanded.covers(target));
+    }
+  }
+}
+
+TEST(VClockProperty, CoversMatchesNaiveAndIsAntisymmetric) {
+  std::mt19937 rng(99);
+  for (int nodes : kPropertySizes) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const VClock a = random_clock(rng, nodes, 4);
+      VClock b = trial % 2 == 0 ? random_clock(rng, nodes, 4) : a;
+      if (trial % 4 == 1) b.advance(static_cast<NodeId>(trial % nodes));
+      bool naive = true;
+      for (int i = 0; i < nodes; ++i) {
+        naive = naive && a.get(i) >= b.get(i);
+      }
+      ASSERT_EQ(a.covers(b), naive);
+      // Antisymmetry: mutual covers is exactly equality.
+      ASSERT_EQ(a.covers(b) && b.covers(a), a == b);
+      // A merge dominates both inputs; a covers it only when a covers b.
+      VClock m = a;
+      m.merge(b);
+      ASSERT_TRUE(m.covers(a));
+      ASSERT_TRUE(m.covers(b));
+      ASSERT_EQ(a.covers(m), a.covers(b));
+    }
+  }
+}
+
+TEST(VClockProperty, SummariesTrackValuesThroughRandomOps) {
+  std::mt19937 rng(1234);
+  for (int nodes : kPropertySizes) {
+    VClock v(nodes);
+    VClock other = random_clock(rng, nodes, 20);
+    std::uniform_int_distribution<int> op(0, 3);
+    std::uniform_int_distribution<int> pick(0, nodes - 1);
+    std::uniform_int_distribution<std::uint32_t> val(0, 20);
+    std::uint64_t last_version = v.version();
+    for (int step = 0; step < 300; ++step) {
+      switch (op(rng)) {
+        case 0:
+          v.advance(static_cast<NodeId>(pick(rng)));
+          break;
+        case 1:
+          v.set(static_cast<NodeId>(pick(rng)), val(rng));
+          break;
+        case 2:
+          v.merge(other);
+          break;
+        case 3:
+          other = random_clock(rng, nodes, 20);
+          v = other;  // copy assignment must refresh the summaries too
+          break;
+      }
+      std::uint64_t sum = 0;
+      std::uint32_t max = 0;
+      for (int i = 0; i < nodes; ++i) {
+        sum += v.get(i);
+        max = std::max(max, v.get(i));
+      }
+      ASSERT_EQ(v.sum(), sum) << "nodes=" << nodes << " step=" << step;
+      ASSERT_EQ(v.max_component(), max);
+      ASSERT_GE(v.version(), last_version);  // monotone mutation counter
+      last_version = v.version();
+      // The summary-based short circuits agree with value semantics.
+      VClock copy = v;
+      ASSERT_EQ(copy, v);
+      ASSERT_TRUE(v.covers(copy) && copy.covers(v));
+    }
+  }
 }
 
 }  // namespace

@@ -8,6 +8,11 @@
 # exactly from four partition threads. Run by ctest as the pdes_equivalence
 # test.
 #
+# A 256-processor arm repeats the serial-vs-par4 byte-diff on a 64-node
+# machine (stress-gen only: the real apps' tiny problem sizes stop at 16
+# procs), where the sparse clock transport of docs/scaling.md carries every
+# synchronization message.
+#
 # The last arm re-runs the PR-5 checked matrix (fig05 host-overhead sweep
 # with the shadow consistency checker) under --par-cores=4: the checker's
 # verdict — zero violations — must survive its hooks firing from four
@@ -44,6 +49,19 @@ for window in adaptive fixed; do
   done
 done
 
+# Large-machine arm: the same byte-identity contract at 256 processors (64
+# nodes), where the sparse clock transport and incremental barrier reduction
+# (docs/scaling.md) carry the protocol. stress-gen only: the real apps'
+# tiny-scale problem sizes do not decompose past the paper's 16 processors.
+"$build_dir/bench/sweep_dump" --apps=stress-gen@3 --procs=256 \
+  > "$out_dir/dump-serial-256.txt"
+"$build_dir/bench/sweep_dump" --apps=stress-gen@3 --procs=256 \
+  --par-cores=4 > "$out_dir/dump-par4-256.txt"
+if ! diff -u "$out_dir/dump-serial-256.txt" "$out_dir/dump-par4-256.txt"; then
+  echo "pdes_equivalence: 256-proc serial vs --par-cores=4 DIVERGES" >&2
+  exit 1
+fi
+
 # Checked arm: also gates on zero violations (sweep_dump exits 1 otherwise).
 "$build_dir/bench/sweep_dump" --apps="$apps" --par-cores=4 \
   --check-consistency > "$out_dir/dump-par4-checked.txt"
@@ -60,4 +78,5 @@ fi
   > "$out_dir/fig05-checked-par4.txt"
 
 echo "pdes_equivalence: serial == par{2,4} x {adaptive,fixed} == par4+check" \
-  "($(wc -l < "$out_dir/dump-serial.txt") lines identical)"
+  "($(wc -l < "$out_dir/dump-serial.txt") lines identical;" \
+  "256-proc arm $(wc -l < "$out_dir/dump-serial-256.txt") lines identical)"
