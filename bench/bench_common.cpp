@@ -10,6 +10,7 @@ namespace svmsim::bench {
 Options Options::parse(int argc, char** argv) {
   harness::Cli cli(argc, argv);
   Options opt;
+  opt.prog = argc > 0 ? argv[0] : "bench";
   const std::string scale = cli.get_or("scale", "small");
   if (scale == "tiny") {
     opt.scale = apps::Scale::kTiny;
@@ -54,6 +55,31 @@ Options Options::parse(int argc, char** argv) {
                  "or run with --par-cores=1.\n",
                  argc > 0 ? argv[0] : "bench", opt.par_cores);
     std::exit(kExitTracedParallel);
+  }
+  if (auto t = cli.get("topology")) {
+    if (auto spec = topo::Spec::parse(*t)) {
+      opt.topology = *spec;
+    } else {
+      std::fprintf(stderr,
+                   "%s: unknown --topology value '%s' (expected legacy, "
+                   "crossbar, fattree:<even k in [2,64]>, or "
+                   "torus:<X>x<Y>[x<Z>] with positive dimensions)\n",
+                   opt.prog.c_str(), t->c_str());
+      std::exit(kExitBadTopology);
+    }
+  }
+  // Architecture overrides are validated here, at parse time, with the same
+  // check the Machine constructor applies — the bench exits kExitBadArch
+  // instead of dying on the constructor's throw mid-sweep.
+  opt.arch = SimConfig{}.arch;
+  opt.arch.link_bytes_per_cycle =
+      cli.get_double("link-bytes-per-cycle", opt.arch.link_bytes_per_cycle);
+  opt.arch.wire_latency_cycles = static_cast<Cycles>(cli.get_int(
+      "wire-latency", static_cast<long>(opt.arch.wire_latency_cycles)));
+  if (const std::string err = opt.arch.validate(); !err.empty()) {
+    std::fprintf(stderr, "%s: bad architecture parameter: %s\n",
+                 opt.prog.c_str(), err.c_str());
+    std::exit(kExitBadArch);
   }
   const std::string window = cli.get_or("pdes-window", "");
   if (window == "fixed") {
@@ -104,6 +130,17 @@ int checked_total_procs(const char* argv0, const char* flag, long total,
   return static_cast<int>(total);
 }
 
+void checked_topology(const char* argv0, const topo::Spec& spec, int nodes) {
+  if (topo::fits(spec, nodes)) return;
+  std::fprintf(stderr,
+               "%s: --topology=%s does not fit a %d-node cluster: a fat "
+               "tree of arity k hosts up to k^3/4 nodes and a torus needs "
+               "its dimension product to equal the node count exactly\n",
+               argv0 != nullptr ? argv0 : "bench", spec.to_string().c_str(),
+               nodes);
+  std::exit(kExitBadTopology);
+}
+
 SimConfig base_config() {
   SimConfig cfg;
   cfg.comm = CommParams::achievable();
@@ -119,6 +156,11 @@ std::vector<harness::SweepPoint> suite_points(
     for (std::size_t i = 0; i < values.size(); ++i) {
       harness::SweepPoint p{app, base_config(), values[i]};
       apply(p.cfg, values[i]);
+      p.cfg.arch = opt.arch;
+      p.cfg.topology = opt.topology;
+      // apply() may resize the cluster, so fit is checked per point.
+      checked_topology(opt.prog.c_str(), p.cfg.topology,
+                       p.cfg.comm.node_count());
       p.cfg.par_cores = opt.par_cores;
       p.cfg.pdes_window = opt.pdes_window;
       p.cfg.trace = opt.trace;

@@ -21,6 +21,15 @@
 //                              (default adaptive; fixed is the original
 //                              one-lookahead window, kept for A/B runs —
 //                              results are byte-identical either way)
+//   --topology=crossbar|fattree:<k>|torus:<X>x<Y>[x<Z>]
+//                              interconnect backend for every sweep point
+//                              (default: the legacy contention-free
+//                              crossbar; see docs/topology.md). Malformed
+//                              or unfitting specs exit kExitBadTopology.
+//   --link-bytes-per-cycle=F / --wire-latency=N
+//                              override the corresponding ArchParams
+//                              fields; values ArchParams::validate()
+//                              rejects exit kExitBadArch.
 //
 // --trace combined with --par-cores>1 is rejected up front with exit code
 // kExitTracedParallel (see docs/tracing.md).
@@ -53,6 +62,18 @@ inline constexpr int kExitTracedParallel = 3;
 /// kExitTracedParallel so scripts (and the death tests) can branch on it.
 inline constexpr int kExitBadProcs = 4;
 
+/// Exit code for a malformed or unusable --topology spec: a string
+/// topo::Spec::parse rejects ("torus:0x4", "fattree:3"), or a well-formed
+/// spec that does not fit the simulated node count (a 4x4 torus under 64
+/// nodes). Distinct from exit(2)/3/4 so scripts and the death tests can
+/// branch on it.
+inline constexpr int kExitBadTopology = 5;
+
+/// Exit code for architecture parameters rejected by ArchParams::validate()
+/// (e.g. --link-bytes-per-cycle=0): the zero/NaN values would divide into
+/// infinite serialization times or break the PDES lookahead floor.
+inline constexpr int kExitBadArch = 6;
+
 /// Largest simulated cluster a bench accepts: 16384 nodes at the paper's 4
 /// processors per node. The simulator itself has no hard ceiling, but a
 /// typo'd size (e.g. a missing comma merging two list entries) would
@@ -67,6 +88,12 @@ inline constexpr long kMaxTotalProcs = 65536;
 int checked_total_procs(const char* argv0, const char* flag, long total,
                         int procs_per_node);
 
+/// Validate a topology spec against a simulated node count (topo::fits).
+/// Prints a diagnostic and exits kExitBadTopology on a misfit; a fitting
+/// spec passes through. Benches call this per sweep point, after the
+/// point's cluster size is known.
+void checked_topology(const char* argv0, const topo::Spec& spec, int nodes);
+
 struct Options {
   apps::Scale scale = apps::Scale::kSmall;
   std::string csv_dir;
@@ -75,6 +102,18 @@ struct Options {
   int par_cores = 1;    ///< SimConfig::par_cores for every sweep point
   /// SimConfig::pdes_window for every sweep point (--pdes-window).
   WindowPolicy pdes_window = SimConfig{}.pdes_window;
+  /// SimConfig::topology for every sweep point (--topology=crossbar|
+  /// fattree:k|torus:XxY[xZ]; default legacy). Malformed specs exit
+  /// kExitBadTopology at parse time; fit against the cluster size is
+  /// checked per point (checked_topology).
+  topo::Spec topology;
+  /// SimConfig::arch for every sweep point, with any --link-bytes-per-cycle
+  /// / --wire-latency overrides applied; values ArchParams::validate()
+  /// rejects exit kExitBadArch at parse time.
+  ArchParams arch;
+  /// argv[0] as seen at parse time, for later diagnostics ("bench" when
+  /// argv was empty).
+  std::string prog = "bench";
   trace::Config trace;  ///< applied to every sweep point (path is a prefix)
   check::Config check;  ///< applied to every sweep point
 

@@ -174,8 +174,10 @@ std::optional<double> json_number_after(const std::string& text,
 /// v5 added allocs_per_event and peak_clock_pool (high-water pooled clock
 /// bodies, docs/scaling.md) to every pdes measurement — the allocation-free
 /// invariant tracked at --pdes-procs scale — and began preserving the
-/// bench_scale "scale" section across rewrites.
-constexpr int kSchema = 5;
+/// bench_scale "scale" section across rewrites. v6 began preserving the
+/// extra_topology "topology" section (contended interconnects, src/topo/)
+/// across rewrites.
+constexpr int kSchema = 6;
 
 }  // namespace
 
@@ -194,7 +196,8 @@ int main(int argc, char** argv) {
   // Previous numbers (if any) for the before/after comparison. Degrade
   // gracefully: a missing or older-schema file only skips the comparison.
   std::optional<double> prev_eps, prev_ape;
-  std::optional<std::string> micro_section, overhead_section, scale_section;
+  std::optional<std::string> micro_section, overhead_section, scale_section,
+      topology_section;
   {
     std::ifstream prev(out_path);
     if (!prev) {
@@ -222,6 +225,7 @@ int main(int argc, char** argv) {
       micro_section = harness::json_object_section(text, "micro_event_queue");
       overhead_section = harness::json_object_section(text, "trace_overhead");
       scale_section = harness::json_object_section(text, "scale");
+      topology_section = harness::json_object_section(text, "topology");
     }
   }
 
@@ -414,6 +418,9 @@ int main(int argc, char** argv) {
   }
   if (scale_section) {
     json << ",\n  \"scale\": " << *scale_section;
+  }
+  if (topology_section) {
+    json << ",\n  \"topology\": " << *topology_section;
   }
   json << "\n}\n";
   harness::write_file_atomic(out_path, json.str());

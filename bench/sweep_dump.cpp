@@ -26,6 +26,13 @@
 // not a multiple of procs_per_node) — the large-machine equivalence arms of
 // tools/pdes_equivalence.sh and tools/sanitize.sh use this.
 //
+// With --topology=<spec> every run uses that interconnect backend
+// (src/topo/). The crossbar backend must leave the dump byte-identical to
+// the legacy default — tools/topology_equivalence.sh diffs exactly that —
+// while fat tree / torus runs append one "link" line per physical link
+// (occupancy counters), which the same script holds byte-identical between
+// serial and --par-cores runs.
+//
 // Keep the format append-only: the equivalence check compares byte-for-byte.
 #include <algorithm>
 #include <cstdio>
@@ -57,6 +64,17 @@ int main(int argc, char** argv) {
         argc > 0 ? argv[0] : "sweep_dump", "--procs",
         std::strtol(procs_arg->c_str(), nullptr, 10),
         base.comm.procs_per_node);
+  }
+  if (auto t = cli.get("topology")) {
+    if (auto spec = topo::Spec::parse(*t)) {
+      base.topology = *spec;
+    } else {
+      std::fprintf(stderr, "sweep_dump: unknown --topology value '%s'\n",
+                   t->c_str());
+      return bench::kExitBadTopology;
+    }
+    bench::checked_topology(argc > 0 ? argv[0] : "sweep_dump", base.topology,
+                            base.comm.node_count());
   }
 
   harness::Sweep sweep(apps::Scale::kTiny);
@@ -125,6 +143,17 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(k.updates_sent),
         static_cast<unsigned long long>(k.update_bytes),
         static_cast<unsigned long long>(k.ni_queue_overflows));
+    // Contended-topology runs only (empty otherwise): one line per physical
+    // link, so the serial-vs-parallel diff also proves link-state identity.
+    for (const auto& l : st.links()) {
+      std::printf("  link%d owner=%d kind=%d grants=%llu busy=%llu "
+                  "wait=%llu bytes=%llu\n",
+                  l.id, l.owner, static_cast<int>(l.kind),
+                  static_cast<unsigned long long>(l.grants),
+                  static_cast<unsigned long long>(l.busy),
+                  static_cast<unsigned long long>(l.wait),
+                  static_cast<unsigned long long>(l.bytes));
+    }
   }
 
   // Violation counts stay off stdout (the dump must be byte-identical with

@@ -20,6 +20,9 @@ Machine::Machine(const SimConfig& cfg)
       space_(cfg.comm.node_count(), cfg.comm.page_bytes),
       shared_(sims_.front(), cfg.comm.node_count(), kMaxLocks),
       network_(sims_.front(), cfg_.arch) {
+  if (const std::string err = cfg_.arch.validate(); !err.empty()) {
+    throw std::invalid_argument("arch: " + err);
+  }
   if (cfg.comm.total_procs % cfg.comm.procs_per_node != 0) {
     throw std::invalid_argument(
         "total_procs must be a multiple of procs_per_node");
@@ -76,6 +79,25 @@ Machine::Machine(const SimConfig& cfg)
       }
     }
     network_.set_routes(std::move(routes));
+  }
+
+  if (cfg_.topology.kind != topo::Kind::kLegacy) {
+    // Throws std::invalid_argument when the spec does not fit `nodes`
+    // (bench CLIs pre-check with topo::fits and exit kExitBadTopology).
+    // Each link's FIFO server lives on the simulator of the partition that
+    // owns the link, so hop events touch it single-threaded.
+    topo_ = topo::make_topology(
+        cfg_.topology, cfg_.arch, nodes, [this](NodeId n) -> engine::Simulator& {
+          return sims_[static_cast<std::size_t>(partition_of_node(n))];
+        });
+    network_.set_topology(topo_.get());
+    if (parts_ > 1 && topo_->contended()) {
+      std::vector<int> node_part(static_cast<std::size_t>(nodes));
+      for (NodeId n = 0; n < nodes; ++n) {
+        node_part[static_cast<std::size_t>(n)] = partition_of_node(n);
+      }
+      network_.set_partition_map(std::move(node_part), parts_);
+    }
   }
 
   nodes_.reserve(static_cast<std::size_t>(nodes));
@@ -167,8 +189,12 @@ bool Machine::run_parallel(Cycles max_cycles) {
     // message ahead of the first remote one (next_remote_tx_lb). A loose
     // bound only narrows the window; the WindowDriver clamps it to the
     // fixed-policy floor.
-    Cycles send = sims_[static_cast<std::size_t>(p)].next_send_bound(
-        tx_floor);
+    // Contended-topology caveat: while this partition's queue holds
+    // topology wire events (mid-route hops), a hop firing at head-of-queue
+    // time can push a cross-partition record just min_latency ahead — far
+    // inside tx_floor — so the floor must drop to zero until they drain.
+    const Cycles floor = network_.wire_pending(p) ? 0 : tx_floor;
+    Cycles send = sims_[static_cast<std::size_t>(p)].next_send_bound(floor);
     const auto [begin, end] = node_range[static_cast<std::size_t>(p)];
     for (NodeId n = begin; n < end; ++n) {
       Node& nd = *nodes_[static_cast<std::size_t>(n)];
@@ -188,7 +214,12 @@ bool Machine::run_parallel(Cycles max_cycles) {
     for (int s = 0; s < parts_; ++s) {
       if (s == p) continue;
       channels_[static_cast<std::size_t>(s)][static_cast<std::size_t>(p)]
-          .drain([&q](auto& batch) {
+          .drain([this, p, &q](auto& batch) {
+            // In contended-topology mode every channel record is a wire
+            // event (hop or delivery); count them so the publish hook can
+            // drop its send floor while any are pending (note_drained is a
+            // no-op otherwise).
+            network_.note_drained(p, batch.size());
             q.schedule_wire_batch(batch);
           });
     }
@@ -223,6 +254,25 @@ bool Machine::run_parallel(Cycles max_cycles) {
     c = Counters{};
   }
   return drained;
+}
+
+void Machine::finalize_stats() {
+  if (topo_ == nullptr || topo_->link_count() == 0) return;
+  std::vector<LinkUse> links;
+  links.reserve(topo_->link_count());
+  for (std::size_t i = 0; i < topo_->link_count(); ++i) {
+    const topo::Link& L = topo_->link(i);
+    LinkUse u;
+    u.id = static_cast<std::int32_t>(i);
+    u.owner = L.owner;
+    u.kind = static_cast<std::int8_t>(L.kind);
+    u.grants = L.server.grants();
+    u.busy = L.server.busy_cycles();
+    u.wait = L.wait_cycles;
+    u.bytes = L.bytes;
+    links.push_back(u);
+  }
+  stats_.set_links(std::move(links));
 }
 
 void Machine::debug_write(svm::GlobalAddr a, const void* src,

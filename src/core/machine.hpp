@@ -26,6 +26,7 @@
 #include "svm/aurc.hpp"
 #include "svm/hlrc.hpp"
 #include "svm/pools.hpp"
+#include "topo/topology.hpp"
 
 namespace svmsim::trace {
 class Tracer;
@@ -134,6 +135,14 @@ class Machine {
   /// data is happens-before everything), hence out of line.
   void debug_write(svm::GlobalAddr a, const void* src, std::uint64_t bytes);
 
+  /// The installed topology backend, or nullptr when cfg.topology is legacy.
+  [[nodiscard]] topo::Topology* topology() noexcept { return topo_.get(); }
+
+  /// Copy per-link occupancy out of the topology into stats().links() (a
+  /// no-op for legacy/crossbar, which model no links). Called by the runner
+  /// after the run; safe to call repeatedly.
+  void finalize_stats();
+
  private:
   /// Where a node of partition p accumulates machine-wide counters: the
   /// global Stats directly in serial mode (bit-for-bit the pre-PDES
@@ -157,6 +166,10 @@ class Machine {
   std::deque<svm::ProtocolPools> pools_;  // [partition]
   svm::AddressSpace space_;
   svm::SharedState shared_;
+  /// Topology backend (null in legacy mode). Declared before network_ so
+  /// the Network's raw topology pointer outlives the Network; link Resources
+  /// reference partition simulators, so this also sits after sims_.
+  std::unique_ptr<topo::Topology> topo_;
   net::Network network_;
   /// channels_[src partition][dst partition]; off-diagonal entries carry
   /// cross-partition packet deliveries (empty in serial mode).

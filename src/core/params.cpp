@@ -14,6 +14,27 @@ std::string to_string(Protocol p) {
   return "?";
 }
 
+std::string ArchParams::validate() const {
+  // !(x > 0) instead of x <= 0: a NaN bandwidth must fail too.
+  if (!(link_bytes_per_cycle > 0.0)) {
+    return "link_bytes_per_cycle must be > 0";
+  }
+  if (!(intra_link_bytes_per_cycle > 0.0)) {
+    return "intra_link_bytes_per_cycle must be > 0";
+  }
+  if (!(inter_link_bytes_per_cycle > 0.0)) {
+    return "inter_link_bytes_per_cycle must be > 0";
+  }
+  if (wire_latency_cycles == 0) return "wire_latency_cycles must be nonzero";
+  if (intra_hop_latency_cycles == 0) {
+    return "intra_hop_latency_cycles must be nonzero";
+  }
+  if (inter_hop_latency_cycles == 0) {
+    return "inter_hop_latency_cycles must be nonzero";
+  }
+  return {};
+}
+
 std::string to_string(InterruptScheme s) {
   switch (s) {
     case InterruptScheme::kFixedProcessor:

@@ -14,6 +14,7 @@
 
 #include "check/config.hpp"
 #include "engine/types.hpp"
+#include "topo/spec.hpp"
 #include "trace/config.hpp"
 
 namespace svmsim {
@@ -67,6 +68,17 @@ struct ArchParams {
   double link_bytes_per_cycle = 2.0;
   Cycles wire_latency_cycles = 100;
 
+  // Contended topologies (src/topo/) split per-hop costs into two link
+  // classes: intra-node (host <-> first switch/router, the injection and
+  // ejection stage) and inter-node (switch <-> switch). The legacy
+  // crossbar path keeps using wire_latency_cycles / link_bytes_per_cycle
+  // end to end; these defaults make a minimum fat-tree route (6 hops) land
+  // in the same order of magnitude as the crossbar's 100-cycle wire.
+  Cycles intra_hop_latency_cycles = 20;
+  Cycles inter_hop_latency_cycles = 40;
+  double intra_link_bytes_per_cycle = 2.0;
+  double inter_link_bytes_per_cycle = 2.0;
+
   // Network interface: two 1 MB queues; a full queue interrupts the host.
   std::uint32_t ni_queue_bytes = 1u << 20;
   std::uint32_t mtu_payload_bytes = 4096;
@@ -85,6 +97,15 @@ struct ArchParams {
   // Intra-node (hardware-coherent SMP) synchronization costs [R].
   Cycles smp_lock_cycles = 60;      // uncontended in-node lock acquire
   Cycles smp_barrier_cycles = 200;  // in-node hierarchical barrier stage
+
+  /// Sanity-check the divisors and latency floors the network layer relies
+  /// on: every link bandwidth must be > 0 (min_serialization and
+  /// transmit() divide by it) and every wire/hop latency nonzero (delivery
+  /// events must land strictly in the future — the wire band and the PDES
+  /// lookahead both require it). Returns an empty string when valid, a
+  /// diagnostic naming the offending field otherwise. The Machine
+  /// constructor enforces this; benches map it to bench::kExitBadArch.
+  [[nodiscard]] std::string validate() const;
 };
 
 /// The communication parameters of Table 1 plus granularity parameters.
@@ -146,6 +167,14 @@ struct CommParams {
 struct SimConfig {
   ArchParams arch;
   CommParams comm;
+
+  /// Interconnect topology (src/topo/, --topology). The default kLegacy is
+  /// the paper's contention-free crossbar on the original code path;
+  /// kCrossbar simulates the identical machine through the topology
+  /// backend (byte-identical results — tools/topology_equivalence.sh);
+  /// fat tree and torus change *what* is simulated: routes are multi-hop
+  /// and links contend, so times and Stats legitimately differ.
+  topo::Spec topology;
 
   /// Diagnostics/ablation switches used by the paper's guided simulations
   /// (§6): pretend every page fetch is local, i.e. remote fetches are free.

@@ -64,6 +64,7 @@ RunResult run(Workload& w, const SimConfig& cfg, Cycles max_cycles) {
   }
 
   RunResult r;
+  m.finalize_stats();  // per-link occupancy into stats (topology runs only)
   r.stats = m.stats();
   r.events = m.events_fired();
   r.windows = m.windows();
@@ -110,6 +111,10 @@ SimConfig uniprocessor_config(const SimConfig& cfg) {
   SimConfig uni = cfg;
   uni.comm.total_procs = 1;
   uni.comm.procs_per_node = 1;
+  // A one-node machine sends no packets, so the interconnect cannot matter;
+  // drop to the legacy network rather than demand the topology (a fixed
+  // torus extent, say) fit a single node.
+  uni.topology = topo::Spec{};
   // Baseline runs are never traced or checked: the interesting run is the
   // parallel one, and a shared trace path must not be overwritten by the
   // baseline.

@@ -89,6 +89,23 @@ struct Counters {
   bool operator==(const Counters&) const = default;
 };
 
+/// Per-physical-link occupancy for contended topology runs (src/topo/):
+/// one row per directed link, filled by Machine::finalize_stats. Empty for
+/// the legacy network and the crossbar backend, so legacy Stats (and their
+/// byte-identity diffs) are untouched. `kind` is a topo::LinkKind value
+/// (topo::to_string decodes it).
+struct LinkUse {
+  std::int32_t id = 0;
+  std::int32_t owner = 0;   ///< owning node
+  std::int8_t kind = 0;     ///< topo::LinkKind
+  std::uint64_t grants = 0; ///< packets serialized
+  std::uint64_t busy = 0;   ///< cycles spent serializing
+  std::uint64_t wait = 0;   ///< cycles packets queued for the link
+  std::uint64_t bytes = 0;
+
+  bool operator==(const LinkUse&) const = default;
+};
+
 /// Per-run statistics: one breakdown per processor plus global counters.
 class Stats {
  public:
@@ -112,11 +129,19 @@ class Stats {
   [[nodiscard]] Cycles max_local_only() const;
   [[nodiscard]] Cycles total_compute() const;
 
+  /// Per-link occupancy (empty unless a contended topology ran). Included
+  /// in operator==, so the PDES byte-identity gates cover link state too.
+  [[nodiscard]] const std::vector<LinkUse>& links() const noexcept {
+    return links_;
+  }
+  void set_links(std::vector<LinkUse> links) { links_ = std::move(links); }
+
   bool operator==(const Stats&) const = default;
 
  private:
   std::vector<Breakdown> per_proc_;
   Counters counters_;
+  std::vector<LinkUse> links_;
 };
 
 }  // namespace svmsim

@@ -64,6 +64,23 @@ class Resource {
     return committed_until_;
   }
 
+  /// Event-context FIFO reservation: occupy the resource for `service`
+  /// cycles starting when the committed backlog drains (never before
+  /// `now`), and return the completion time. The non-coroutine sibling of
+  /// serve(), for callers that cannot suspend — the topology layer
+  /// (src/topo/) serializes packets on a link from scheduled hop events
+  /// this way. Do not mix with serve()/with() on one resource: reserve()
+  /// bypasses the waiter queue and orders grants purely by submission,
+  /// which is FIFO only if every grant goes through it.
+  Cycles reserve(Cycles now, Cycles service) noexcept {
+    const Cycles start = committed_until_ > now ? committed_until_ : now;
+    committed_until_ = start + service;
+    busy_until_ = committed_until_;
+    busy_cycles_ += service;
+    ++grants_;
+    return committed_until_;
+  }
+
  private:
   friend struct FifoWait;
   Task<void> acquire();

@@ -232,6 +232,10 @@ engine::Task<void> Nic::rx_loop() {
 }
 
 void Network::transmit(Packet p, Cycles now) {
+  if (topo_ != nullptr && topo_->contended()) {
+    transmit_routed(std::move(p), now);
+    return;
+  }
   const auto serialization =
       static_cast<Cycles>(static_cast<double>(p.bytes) /
                           arch_->link_bytes_per_cycle);
@@ -276,6 +280,131 @@ void Network::transmit(Packet p, Cycles now) {
     return;
   }
   sim_->queue().schedule_wire(when, key, std::move(deliver));
+}
+
+namespace {
+
+// Wire-key field extraction (the packing lives in transmit/transmit_routed).
+inline NodeId key_dst(std::uint64_t key) noexcept {
+  return static_cast<NodeId>((key >> 52) & 0xfff);
+}
+inline NodeId key_src(std::uint64_t key) noexcept {
+  return static_cast<NodeId>((key >> 40) & 0xfff);
+}
+inline int key_nic(std::uint64_t key) noexcept {
+  return static_cast<int>((key >> 32) & 0xff);
+}
+
+}  // namespace
+
+void Network::transmit_routed(Packet p, Cycles now) {
+  // Same key as the legacy path: (dst, src, NI, launch seq) totally orders
+  // same-cycle wire events by sender history alone. A single packet's hop
+  // events strictly increase in time (every link has latency >= 1), so the
+  // key never repeats at one timestamp.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.dst)) << 52) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.src)) << 40) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.nic_index))
+       << 32) |
+      p.wire_seq;
+  core::PoolRef<Hop> h = hop_pool_.acquire();
+  h->msg = std::move(p.msg);
+  h->key = key;
+  h->bytes = static_cast<std::uint32_t>(p.bytes);
+  h->next = 0;
+  h->last = p.last;
+  // hop() decrements the firing partition's wire-event count on entry; this
+  // inline first hop was never scheduled, so pre-increment to wash. The
+  // injection link is owned by the source node (topology contract), so the
+  // firing partition is the caller's own.
+  if (!wire_pending_.empty()) {
+    ++wire_pending_[static_cast<std::size_t>(
+                        node_part_[static_cast<std::size_t>(p.src)])]
+          .n;
+  }
+  hop(std::move(h), now);
+}
+
+void Network::hop(core::PoolRef<Hop> h, Cycles now) {
+  topo::Topology::RouteBuf r;
+  topo_->route(key_src(h->key), key_dst(h->key), r);
+  topo::Link& L =
+      topo_->link(r.link[static_cast<std::size_t>(h->next)]);
+  // This event fires on the thread of the partition owning L (scheduling
+  // below targets the next link's owner), so link state and the pending
+  // count are touched single-threaded, in deterministic wire-band order.
+  if (!wire_pending_.empty()) {
+    --wire_pending_[static_cast<std::size_t>(
+                        node_part_[static_cast<std::size_t>(L.owner)])]
+          .n;
+  }
+  // FIFO link serialization: same truncating bytes/bandwidth formula as the
+  // legacy path, queued behind the link's committed backlog.
+  const auto ser = static_cast<Cycles>(static_cast<double>(h->bytes) /
+                                       L.bytes_per_cycle);
+  const Cycles done = L.server.reserve(now, ser);
+  const Cycles waited = (done - ser) - now;
+  L.wait_cycles += waited;
+  L.bytes += h->bytes;
+  SVMSIM_TRACE_EVENT(*sim_, trace::Category::kNet, trace::Event::kLinkHop, -1,
+                     L.owner, r.link[static_cast<std::size_t>(h->next)],
+                     waited);
+  // Hop advance = queueing + serialization + link latency >= latency +
+  // header serialization >= Topology::min_latency() — the PDES lookahead
+  // floor (and strictly positive, as the wire band requires).
+  const Cycles when = done + L.latency;
+  ++h->next;
+  const bool final_hop = static_cast<int>(h->next) == r.hops;
+  const NodeId from = L.owner;
+  const NodeId to = final_hop
+                        ? key_dst(h->key)
+                        : topo_->link(r.link[static_cast<std::size_t>(h->next)])
+                              .owner;
+  const std::uint64_t key = h->key;
+  Action next = final_hop
+                    ? Action([this, h = std::move(h)]() mutable {
+                        deliver(std::move(h));
+                      })
+                    : Action([this, h = std::move(h), when]() mutable {
+                        hop(std::move(h), when);
+                      });
+  if (!routes_.empty()) {
+    const Route& rt = routes_[static_cast<std::size_t>(from)]
+                             [static_cast<std::size_t>(to)];
+    if (rt.channel != nullptr) {
+      // Cross-partition: the receiver counts it on drain (note_drained).
+      rt.channel->push(when, key, std::move(next));
+      return;
+    }
+    if (!wire_pending_.empty()) {
+      ++wire_pending_[static_cast<std::size_t>(
+                          node_part_[static_cast<std::size_t>(to)])]
+            .n;
+    }
+    rt.queue->schedule_wire(when, key, std::move(next));
+    return;
+  }
+  sim_->queue().schedule_wire(when, key, std::move(next));
+}
+
+void Network::deliver(core::PoolRef<Hop> h) {
+  const NodeId dst = key_dst(h->key);
+  if (!wire_pending_.empty()) {
+    --wire_pending_[static_cast<std::size_t>(
+                        node_part_[static_cast<std::size_t>(dst)])]
+          .n;
+  }
+  Nic* nic = nics_.at(static_cast<std::size_t>(dst))
+                 .at(static_cast<std::size_t>(key_nic(h->key)));
+  Packet q;
+  q.src = key_src(h->key);
+  q.dst = dst;
+  q.nic_index = nic->index();
+  q.bytes = h->bytes;
+  q.last = h->last;
+  q.msg = std::move(h->msg);
+  nic->packet_arrived(std::move(q));
 }
 
 }  // namespace svmsim::net

@@ -22,6 +22,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "core/params.hpp"
 #include "core/pool.hpp"
@@ -33,6 +34,7 @@
 #include "memsys/memory_bus.hpp"
 #include "net/io_bus.hpp"
 #include "net/message.hpp"
+#include "topo/topology.hpp"
 
 namespace svmsim::net {
 
@@ -196,7 +198,51 @@ class Network {
 
   /// PDES wiring: in-flight messages recycle on the receiving partition's
   /// thread, so the pool must take its freelist lock.
-  void set_thread_safe() { msg_pool_.set_thread_safe(true); }
+  void set_thread_safe() {
+    msg_pool_.set_thread_safe(true);
+    hop_pool_.set_thread_safe(true);
+  }
+
+  /// Install a topology backend (src/topo/; Machine, before any traffic).
+  /// With none installed — or with the contention-free Crossbar backend —
+  /// transmit() keeps the legacy single-formula path, byte for byte.
+  void set_topology(topo::Topology* t) noexcept { topo_ = t; }
+
+  /// True when packets traverse contended per-hop links (fat tree, torus).
+  [[nodiscard]] bool topology_contended() const noexcept {
+    return topo_ != nullptr && topo_->contended();
+  }
+
+  /// PDES wiring for contended topologies: the node -> partition map. A
+  /// hop event must fire on the partition owning its link, and the window
+  /// protocol must know which partitions hold topology wire events (see
+  /// wire_pending). Not needed in legacy/crossbar mode.
+  void set_partition_map(std::vector<int> node_part, int parts) {
+    node_part_ = std::move(node_part);
+    wire_pending_.assign(static_cast<std::size_t>(parts), PendingCount{});
+  }
+
+  /// Adaptive-window accounting: true while partition `part`'s event queue
+  /// holds topology wire events (mid-route hops or final deliveries). A hop
+  /// firing at head-of-queue time can immediately push a cross-partition
+  /// record only min_latency away — far less than the NIC tx-pipeline floor
+  /// — so while this holds, the publish hook must bound the partition's
+  /// next send by bare head-of-queue time (core/machine.cpp).
+  [[nodiscard]] bool wire_pending(int part) const noexcept {
+    return !wire_pending_.empty() &&
+           wire_pending_[static_cast<std::size_t>(part)].n > 0;
+  }
+
+  /// Called by the Machine's drain hook on partition `part`'s thread: `n`
+  /// channel records just landed in its queue. In contended-topology mode
+  /// every channel record is a topology wire event, so they join the
+  /// wire_pending count (decremented when each fires).
+  void note_drained(int part, std::size_t n) noexcept {
+    if (!wire_pending_.empty()) {
+      wire_pending_[static_cast<std::size_t>(part)].n +=
+          static_cast<std::int64_t>(n);
+    }
+  }
 
   /// Minimum cross-node delivery latency — the PDES lookahead floor. Every
   /// packet spends the wire time plus at least its header's serialization at
@@ -205,6 +251,11 @@ class Network {
   /// conservative window of this width can never miss a delivery. The wider
   /// the window, the fewer barrier syncs per simulated cycle.
   [[nodiscard]] Cycles min_latency() const noexcept {
+    // A topology backend owns the bound: for contended topologies it is
+    // the analytic minimum single-hop advance (every hop event schedules
+    // its successor at least that far ahead — docs/topology.md); the
+    // Crossbar backend reproduces the legacy value below.
+    if (topo_ != nullptr) return topo_->min_latency();
     const auto min_serialization = static_cast<Cycles>(
         static_cast<double>(arch_->packet_header_bytes) /
         arch_->link_bytes_per_cycle);
@@ -233,11 +284,27 @@ class Network {
            bus_cycles * arch.membus_cpu_per_bus_cycle;
   }
 
-  /// True when deliveries from `src` to `dst` cross a partition boundary,
-  /// i.e. travel over a TimedChannel instead of landing on a scheduler
-  /// directly. Always false in serial mode (no routes installed).
+  /// True when a message from `src` to `dst` leaves the source partition
+  /// at any point. In legacy/crossbar mode that is exactly "the delivery
+  /// travels over a TimedChannel"; on a contended topology a same-partition
+  /// destination can still route over links owned by other partitions, so
+  /// the whole route is inspected — the NIC's remote-pending bookkeeping
+  /// (adaptive window) must treat such a message as remote work. Always
+  /// false in serial mode (no routes installed).
   [[nodiscard]] bool remote(NodeId src, NodeId dst) const noexcept {
     if (routes_.empty()) return false;
+    if (topo_ != nullptr && topo_->contended() && !node_part_.empty()) {
+      const int ps = node_part_[static_cast<std::size_t>(src)];
+      if (node_part_[static_cast<std::size_t>(dst)] != ps) return true;
+      topo::Topology::RouteBuf r;
+      topo_->route(src, dst, r);
+      for (int i = 0; i < r.hops; ++i) {
+        const NodeId owner =
+            topo_->link(r.link[static_cast<std::size_t>(i)]).owner;
+        if (node_part_[static_cast<std::size_t>(owner)] != ps) return true;
+      }
+      return false;
+    }
     return routes_[static_cast<std::size_t>(src)][static_cast<std::size_t>(
                dst)]
                .channel != nullptr;
@@ -251,11 +318,48 @@ class Network {
   void transmit(Packet p, Cycles now);
 
  private:
+  /// Pooled per-packet route state for contended topologies. The wire key
+  /// already encodes (dst, src, nic index, launch seq), so only the payload
+  /// ref, wire bytes, next-hop cursor and last flag ride here; a closure
+  /// over {Network*, PoolRef<Hop>, Cycles} fits the scheduler's 24-byte
+  /// inline action storage.
+  struct Hop {
+    MessageRef msg;
+    std::uint64_t key = 0;
+    std::uint32_t bytes = 0;
+    std::uint8_t next = 0;  ///< index of the next link on the route
+    bool last = false;
+    void recycle() { msg.reset(); }
+  };
+  /// Per-partition count of scheduled topology wire events. Only ever
+  /// touched from the owning partition's thread (scheduling onto another
+  /// partition goes through its channel and is counted by note_drained on
+  /// arrival), so plain non-atomic counters — padded to a cache line each
+  /// to keep neighbouring partitions' writes from false sharing.
+  struct alignas(64) PendingCount {
+    std::int64_t n = 0;
+  };
+
+  /// Contended-topology transmit: serve the injection link inline, then
+  /// walk the route hop by hop as wire-band events on each link owner's
+  /// partition.
+  void transmit_routed(Packet p, Cycles now);
+  /// One link traversal: FIFO-reserve the link, then schedule the next hop
+  /// (or the final delivery) at reservation end + link latency.
+  void hop(core::PoolRef<Hop> h, Cycles now);
+  /// Final wire event on the destination's partition: rebuild the Packet
+  /// from the key + Hop state and hand it to the receiving NI.
+  void deliver(core::PoolRef<Hop> h);
+
   engine::Simulator* sim_;
   const ArchParams* arch_;
+  topo::Topology* topo_ = nullptr;
   core::ObjectPool<Message> msg_pool_;
+  core::ObjectPool<Hop> hop_pool_;
   std::vector<std::vector<Nic*>> nics_;    // [node][nic index]
   std::vector<std::vector<Route>> routes_; // [src node][dst node]; may be empty
+  std::vector<int> node_part_;             // [node] -> partition (contended PDES)
+  std::vector<PendingCount> wire_pending_; // [partition] topology wire events
 };
 
 }  // namespace svmsim::net

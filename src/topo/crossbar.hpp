@@ -1,0 +1,37 @@
+// Crossbar backend: the paper's contention-free network as a Topology.
+//
+// Exists to prove the topology plumbing is observationally inert: with
+// contended() == false, Network::transmit() takes the very same legacy code
+// path (same latency formula, same wire key, same delivery closure), so a
+// --topology=crossbar run is byte-identical to a run with no topology at
+// all — tools/topology_equivalence.sh diffs the two. No links are
+// allocated: an n-port crossbar has no shared wires to contend on, and the
+// n^2 virtual circuits would only burn memory at 256+ nodes.
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace svmsim::topo {
+
+class Crossbar final : public Topology {
+ public:
+  explicit Crossbar(const ArchParams& arch) noexcept : Topology(arch) {
+    // The legacy lookahead floor, verbatim (net::Network::min_latency):
+    // wire latency plus the packet header's serialization at link bandwidth.
+    const auto min_serialization =
+        static_cast<Cycles>(static_cast<double>(arch.packet_header_bytes) /
+                            arch.link_bytes_per_cycle);
+    const Cycles floor = arch.wire_latency_cycles + min_serialization;
+    min_latency_ = floor > 0 ? floor : 1;
+  }
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "crossbar";
+  }
+  [[nodiscard]] bool contended() const noexcept override { return false; }
+  void route(NodeId, NodeId, RouteBuf& out) const noexcept override {
+    out.hops = 0;
+  }
+};
+
+}  // namespace svmsim::topo

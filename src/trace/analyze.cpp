@@ -101,7 +101,9 @@ Analysis analyze(const TraceFile& f, std::size_t top) {
       case Event::kNiTx:
       case Event::kNiRx:
       case Event::kIoBus:
-        break;
+      case Event::kLinkHop:  // per-link occupancy lives in Stats::links,
+        break;               // not in Counters — nothing to recompute
+
       case Event::kUpdateSend:
         ++c.updates_sent;
         c.update_bytes += r.a1;

@@ -85,6 +85,7 @@ Category category_of(Event e) noexcept {
     case Event::kIoBus:
     case Event::kUpdateSend:
     case Event::kNiOverflow:
+    case Event::kLinkHop:
       return Category::kNet;
     case Event::kIrqIssue:
     case Event::kPollDeliver:
@@ -126,6 +127,7 @@ std::string_view to_string(Event e) noexcept {
     case Event::kPollDeliver: return "poll-deliver";
     case Event::kHandlerSpan: return "handler";
     case Event::kTimeSpan: return "time-span";
+    case Event::kLinkHop: return "link-hop";
     case Event::kCount: break;
   }
   return "?";

@@ -67,6 +67,8 @@ enum class Event : std::uint8_t {
   kHandlerSpan,    ///< a0=handler duration in cycles, a1=entry cost
   // kSched
   kTimeSpan,       ///< a0=cycles, a1=TimeCat (flushed Breakdown increment)
+  // kNet (appended: earlier ids are stable in recorded traces)
+  kLinkHop,        ///< a0=topology link id, a1=cycles queued for the link
   kCount,
 };
 

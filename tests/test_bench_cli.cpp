@@ -93,5 +93,90 @@ TEST(BenchCli, SweepPointsCarryParCoresAndWindowPolicy) {
   EXPECT_EQ(pts[0].cfg.pdes_window, WindowPolicy::kFixed);
 }
 
+// ---- --topology (src/topo/): malformed or unfitting specs must exit with
+// kExitBadTopology, distinct from 2/3/4, because the equivalence scripts
+// branch on it. ----
+
+TEST(BenchCliDeathTest, ZeroTorusExtentExitsWithBadTopologyCode) {
+  EXPECT_EXIT(parse({"--topology=torus:0x4"}),
+              ::testing::ExitedWithCode(kExitBadTopology),
+              "unknown --topology value 'torus:0x4'");
+}
+
+TEST(BenchCliDeathTest, OddFatTreeArityExitsWithBadTopologyCode) {
+  EXPECT_EXIT(parse({"--topology=fattree:3"}),
+              ::testing::ExitedWithCode(kExitBadTopology),
+              "unknown --topology value 'fattree:3'");
+}
+
+TEST(BenchCliDeathTest, BogusTopologyExitsWithBadTopologyCode) {
+  EXPECT_EXIT(parse({"--topology=hypercube"}),
+              ::testing::ExitedWithCode(kExitBadTopology), "hypercube");
+}
+
+TEST(BenchCliDeathTest, UnfittingTopologyExitsWithBadTopologyCode) {
+  // A 4x4 torus is well-formed but needs exactly 16 nodes.
+  const auto spec = topo::Spec::parse("torus:4x4");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EXIT(checked_topology("bench_test", *spec, 4),
+              ::testing::ExitedWithCode(kExitBadTopology),
+              "does not fit a 4-node cluster");
+}
+
+TEST(BenchCliDeathTest, SweepPointsRejectUnfittingTopology) {
+  // The paper's default machine is 4 nodes; a 4x4 torus cannot fit it, and
+  // the misfit must surface at point-construction time, not as a Machine
+  // constructor throw mid-sweep.
+  auto opt = parse({"--topology=torus:4x4", "--apps=fft"});
+  EXPECT_EXIT(suite_points({0.0}, [](SimConfig&, double) {}, opt),
+              ::testing::ExitedWithCode(kExitBadTopology), "does not fit");
+}
+
+// ---- Architecture overrides: values ArchParams::validate() rejects must
+// exit kExitBadArch before any simulation is constructed. ----
+
+TEST(BenchCliDeathTest, ZeroLinkBandwidthExitsWithBadArchCode) {
+  EXPECT_EXIT(parse({"--link-bytes-per-cycle=0"}),
+              ::testing::ExitedWithCode(kExitBadArch),
+              "link_bytes_per_cycle must be > 0");
+}
+
+TEST(BenchCliDeathTest, ZeroWireLatencyExitsWithBadArchCode) {
+  EXPECT_EXIT(parse({"--wire-latency=0"}),
+              ::testing::ExitedWithCode(kExitBadArch),
+              "wire_latency_cycles must be nonzero");
+}
+
+TEST(BenchCli, TopologyFlagParsesAndPropagates) {
+  EXPECT_EQ(parse({}).topology.kind, topo::Kind::kLegacy);
+  EXPECT_EQ(parse({"--topology=crossbar"}).topology.kind,
+            topo::Kind::kCrossbar);
+  const auto ft = parse({"--topology=fattree:8"}).topology;
+  EXPECT_EQ(ft.kind, topo::Kind::kFatTree);
+  EXPECT_EQ(ft.fat_k, 8);
+  const auto to = parse({"--topology=torus:2x2"}).topology;
+  EXPECT_EQ(to.kind, topo::Kind::kTorus);
+  EXPECT_EQ(to.dims[0], 2);
+  EXPECT_EQ(to.dims[1], 2);
+  EXPECT_EQ(to.dims[2], 1);
+
+  // A fitting spec lands on every sweep point (default machine: 4 nodes).
+  auto opt = parse({"--topology=torus:2x2", "--apps=fft"});
+  auto pts = suite_points({0.0}, [](SimConfig&, double) {}, opt);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0].cfg.topology.kind, topo::Kind::kTorus);
+}
+
+TEST(BenchCli, ArchOverridesPropagateWhenValid) {
+  auto opt = parse({"--link-bytes-per-cycle=4", "--wire-latency=50",
+                    "--apps=fft"});
+  EXPECT_DOUBLE_EQ(opt.arch.link_bytes_per_cycle, 4.0);
+  EXPECT_EQ(opt.arch.wire_latency_cycles, 50u);
+  auto pts = suite_points({0.0}, [](SimConfig&, double) {}, opt);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_DOUBLE_EQ(pts[0].cfg.arch.link_bytes_per_cycle, 4.0);
+  EXPECT_EQ(pts[0].cfg.arch.wire_latency_cycles, 50u);
+}
+
 }  // namespace
 }  // namespace svmsim::bench
