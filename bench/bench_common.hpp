@@ -74,6 +74,13 @@ inline constexpr int kExitBadTopology = 5;
 /// infinite serialization times or break the PDES lookahead floor.
 inline constexpr int kExitBadArch = 6;
 
+/// Exit code for a rejected --replay schedule file in bench/explore: the
+/// file is missing, truncated, not a schedule, the wrong format version,
+/// corrupt, or recorded against a different (app, config) fingerprint. The
+/// specific reason is printed; the code is shared so scripts can branch on
+/// "the schedule file is unusable" without parsing the diagnostic.
+inline constexpr int kExitBadSchedule = 7;
+
 /// Largest simulated cluster a bench accepts: 16384 nodes at the paper's 4
 /// processors per node. The simulator itself has no hard ceiling, but a
 /// typo'd size (e.g. a missing comma merging two list entries) would

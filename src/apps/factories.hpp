@@ -21,4 +21,11 @@ std::unique_ptr<Application> make_volrend(Scale scale);
 /// checker ("stress-gen", "stress-gen@<seed>"). See src/apps/stress_gen.cpp.
 std::unique_ptr<Application> make_stress_gen(Scale scale, std::uint64_t seed);
 
+/// Bounded-iteration micro profile of stress-gen ("stress-micro@<seed>"):
+/// two rounds, a handful of cells/slots, one lock op per round — few enough
+/// messages that the schedule explorer can exhaust every interleaving of a
+/// tiny machine. Scale is accepted for registry uniformity and ignored.
+std::unique_ptr<Application> make_stress_micro(Scale scale,
+                                               std::uint64_t seed);
+
 }  // namespace svmsim::apps

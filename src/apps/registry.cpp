@@ -47,6 +47,24 @@ std::unique_ptr<Application> make_app(const std::string& name, Scale scale) {
     }
     return make_stress_gen(scale, seed);
   }
+  // "stress-micro" / "stress-micro@<seed>": the bounded-iteration profile of
+  // the fuzz workload, sized so the schedule explorer (src/explore/) can
+  // exhaustively enumerate its interleavings on a two-node machine. Scale is
+  // ignored — micro is its own, smaller-than-kTiny size.
+  if (name.rfind("stress-micro", 0) == 0) {
+    std::uint64_t seed = 1;
+    if (name.size() > 12) {
+      if (name[12] != '@') {
+        throw std::invalid_argument("unknown application: " + name);
+      }
+      try {
+        seed = std::stoull(name.substr(13));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("bad stress-micro seed in: " + name);
+      }
+    }
+    return make_stress_micro(scale, seed);
+  }
   throw std::invalid_argument("unknown application: " + name);
 }
 

@@ -33,6 +33,21 @@ std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
 
 class StressGenApp final : public Application {
  public:
+  /// Tag for the bounded-iteration micro profile ("stress-micro@<seed>"):
+  /// the same program shape, sized for exhaustive schedule exploration —
+  /// the round/array/lock-op counts are small enough that a two-node run's
+  /// full interleaving tree stays in the thousands of schedules.
+  struct Micro {};
+
+  StressGenApp(Micro, Scale scale, std::uint64_t seed)
+      : Application(scale), seed_(seed), micro_(true) {
+    rounds_ = 2;
+    slots_ = 2;
+    cells_ = 4;
+    block_elems_ = 4;
+    max_lock_ops_ = 1;
+  }
+
   StressGenApp(Scale scale, std::uint64_t seed)
       : Application(scale), seed_(seed) {
     switch (scale) {
@@ -61,7 +76,7 @@ class StressGenApp final : public Application {
   }
 
   [[nodiscard]] std::string name() const override {
-    return "stress-gen@" + std::to_string(seed_);
+    return (micro_ ? "stress-micro@" : "stress-gen@") + std::to_string(seed_);
   }
 
   void setup(Machine& m) override {
@@ -220,6 +235,7 @@ class StressGenApp final : public Application {
   }
 
   std::uint64_t seed_;
+  bool micro_ = false;
   std::uint32_t rounds_;
   std::uint64_t slots_;
   std::uint64_t cells_;
@@ -236,6 +252,11 @@ class StressGenApp final : public Application {
 
 std::unique_ptr<Application> make_stress_gen(Scale scale, std::uint64_t seed) {
   return std::make_unique<StressGenApp>(scale, seed);
+}
+
+std::unique_ptr<Application> make_stress_micro(Scale scale,
+                                               std::uint64_t seed) {
+  return std::make_unique<StressGenApp>(StressGenApp::Micro{}, scale, seed);
 }
 
 }  // namespace svmsim::apps

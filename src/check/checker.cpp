@@ -27,6 +27,7 @@ std::string_view to_string(Mutation m) noexcept {
     case Mutation::kStaleRead: return "stale_read";
     case Mutation::kLostDiff: return "lost_diff";
     case Mutation::kSkippedNotice: return "skipped_notice";
+    case Mutation::kReorderSensitiveNotice: return "reorder_sensitive_notice";
   }
   return "?";
 }
@@ -36,6 +37,9 @@ std::optional<Mutation> parse_mutation(std::string_view name) {
   if (name == "stale_read") return Mutation::kStaleRead;
   if (name == "lost_diff") return Mutation::kLostDiff;
   if (name == "skipped_notice") return Mutation::kSkippedNotice;
+  if (name == "reorder_sensitive_notice") {
+    return Mutation::kReorderSensitiveNotice;
+  }
   return std::nullopt;
 }
 

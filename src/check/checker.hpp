@@ -182,6 +182,16 @@ class Checker {
   /// A node representative left the barrier with clock `vc`.
   void on_barrier_exit(Cycles now, NodeId n, const svm::VClock& vc);
 
+  /// Snapshot of node `n`'s vector clock as last reported through
+  /// on_vclock. The schedule explorer's happens-before pruner reads these
+  /// at wire decision points (docs/exploration.md): two pending deliveries
+  /// whose source nodes' clocks are strictly ordered are causally ordered,
+  /// so permuting them cannot expose new behavior.
+  [[nodiscard]] svm::VClock node_clock(NodeId n) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_vc_[static_cast<std::size_t>(n)];
+  }
+
   /// End-of-run structural checks (after the runner's final barrier): every
   /// created diff/update applied, every touched home copy equal to the
   /// shadow. Idempotent.

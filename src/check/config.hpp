@@ -24,12 +24,20 @@ enum class Mutation : std::uint8_t {
   kLostDiff,       ///< drop one diff per release flush (HLRC) / every
                    ///< automatic-update run (AURC)
   kSkippedNotice,  ///< drop the last page from every invalidation batch
+  /// Schedule-dependent: like kSkippedNotice, but the drop only triggers
+  /// after some NI has observed two same-cycle arrivals in descending
+  /// source order — an order the baseline (time, key)-sorted wire band can
+  /// never produce, so single-seed runs are provably clean and only the
+  /// schedule explorer (src/explore/) can surface the bug. The mutation-kill
+  /// matrix uses it to prove the explorer adds coverage, not just runs.
+  kReorderSensitiveNotice,
 };
 
 [[nodiscard]] std::string_view to_string(Mutation m) noexcept;
 
 /// Parse a SVMSIM_CHECK_MUTATION value ("", "none", "stale_read",
-/// "lost_diff", "skipped_notice"). Returns nullopt on an unknown name.
+/// "lost_diff", "skipped_notice", "reorder_sensitive_notice"). Returns
+/// nullopt on an unknown name.
 [[nodiscard]] std::optional<Mutation> parse_mutation(std::string_view name);
 
 /// Per-run checker settings, carried inside SimConfig. The checker never

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "engine/choice.hpp"
 #include "trace/trace.hpp"
 
 namespace svmsim {
@@ -34,11 +35,19 @@ Node::Node(engine::Simulator& sim, const SimConfig& cfg, NodeId id, int procs,
 
 Processor& Node::pick_interrupt_victim() {
   // Round-robin delivery for the rotating scheme; polling also rotates
-  // (whichever processor's poll loop finds the request services it).
+  // (whichever processor's poll loop finds the request services it). A
+  // schedule-choice hook may override the rotating default with any legal
+  // victim — which processor's poll loop wins the race is not determined by
+  // the model — but the rotation still advances by one either way, so the
+  // decision stream stays aligned with the baseline schedule.
   if (cfg_->comm.interrupt_scheme != InterruptScheme::kFixedProcessor) {
-    Processor& victim = *procs_[static_cast<std::size_t>(rr_next_)];
+    int idx = rr_next_;
     rr_next_ = (rr_next_ + 1) % static_cast<int>(procs_.size());
-    return victim;
+    engine::ChoiceHook* hook = sim_->choice_hook();
+    if (hook != nullptr && procs_.size() > 1) [[unlikely]] {
+      idx = hook->choose_victim(id_, static_cast<int>(procs_.size()), idx);
+    }
+    return *procs_[static_cast<std::size_t>(idx)];
   }
   return *procs_.front();  // paper's base scheme: always processor 0
 }
@@ -51,8 +60,14 @@ void Node::wire(svm::SvmAgent& agent) {
           // No interrupt: the request sits until a processor's next poll
           // tick notices it (paper §10's polling proposal).
           const Cycles interval = std::max<Cycles>(1, cfg_->comm.poll_interval);
-          const Cycles next_tick =
-              (sim_->now() / interval + 1) * interval;
+          Cycles next_tick = (sim_->now() / interval + 1) * interval;
+          // A schedule-choice hook may slip the dispatch one interval: the
+          // arrival racing an in-flight poll that has already passed the
+          // check is a real interleaving the deterministic model collapses.
+          engine::ChoiceHook* hook = sim_->choice_hook();
+          if (hook != nullptr && hook->choose_poll_slip(id_)) [[unlikely]] {
+            next_tick += interval;
+          }
           sim_->queue().schedule_at(
               next_tick, [this, body = std::move(body)]() mutable {
                 Processor& victim = pick_interrupt_victim();

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "check/checker.hpp"
+#include "engine/choice.hpp"
 #include "trace/trace.hpp"
 
 namespace svmsim {
@@ -35,8 +36,19 @@ double RunResult::per_proc_per_mcycles(std::uint64_t events) const {
   return static_cast<double>(events) * 1e6 / compute;
 }
 
-RunResult run(Workload& w, const SimConfig& cfg, Cycles max_cycles) {
+RunResult run(Workload& w, const SimConfig& cfg, Cycles max_cycles,
+              engine::ChoiceHook* hook) {
   Machine m(cfg);
+  if (hook != nullptr) {
+    if (m.partitions() > 1) {
+      throw std::invalid_argument(
+          "schedule exploration requires serial mode (par_cores == 1): "
+          "arbitrated schedules are alternative histories, outside the PDES "
+          "byte-identity contract");
+    }
+    m.sim().set_choice_hook(hook);
+    hook->on_attach(m.checker());
+  }
   w.setup(m);
 
   std::atomic<int> finished{0};

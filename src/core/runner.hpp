@@ -11,6 +11,10 @@
 #include "core/stats.hpp"
 #include "engine/task.hpp"
 
+namespace svmsim::engine {
+class ChoiceHook;
+}  // namespace svmsim::engine
+
 namespace svmsim {
 
 /// A parallel program to run on the simulated cluster. Implemented by every
@@ -58,9 +62,14 @@ struct RunResult {
 };
 
 /// Run `w` on a machine configured by `cfg`. Throws if the simulation
-/// deadlocks or exceeds `max_cycles`.
+/// deadlocks or exceeds `max_cycles`. A non-null `hook` installs a
+/// schedule-choice hook (engine/choice.hpp) on the machine's simulator —
+/// explorer mode, serial only: with cfg.par_cores > 1 the run throws
+/// std::invalid_argument (arbitrated schedules are alternative histories,
+/// which the PDES byte-identity contract cannot cover).
 RunResult run(Workload& w, const SimConfig& cfg,
-              Cycles max_cycles = Cycles{1} << 42);
+              Cycles max_cycles = Cycles{1} << 42,
+              engine::ChoiceHook* hook = nullptr);
 
 /// Convenience: the uniprocessor baseline configuration for `cfg`.
 [[nodiscard]] SimConfig uniprocessor_config(const SimConfig& cfg);

@@ -8,6 +8,82 @@
 namespace svmsim::engine::detail {
 
 // ---------------------------------------------------------------------------
+// Wire-band arbitration (shared by both backends)
+//
+// Offers the arbiter one alternative per delivery channel — the channel's
+// earliest pending event, in the band's fire order — and, when it picks
+// alternative i > 0, defers the displaced events to fire just after it:
+// every event ordered before the chosen one moves to (chosen.when,
+// chosen.defer + 1 + rank), where rank is its position in the displaced
+// set's original fire order. Two invariants make this a clean "which
+// delivery fires next" permutation:
+//
+//  * Per-channel FIFO: a channel with a deferred member must not leave a
+//    same-instant follower un-deferred (it would overtake). The closure loop
+//    pulls those followers into the deferred set, in order.
+//  * One decision per fire: the chosen event becomes the strict band
+//    minimum, so it fires on the very next wire fire — unless deferral
+//    pushed the band head past a pending (time, seq) event, which is why
+//    callers re-compare band priority after arbitration.
+// ---------------------------------------------------------------------------
+
+bool arbitrate_wire(std::vector<WireEvent>& wire, WireArbiter& arb) {
+  const std::size_t n = wire.size();
+  if (n < 2) return false;
+  // Fire-ordered view of the band (the heap itself is only partially
+  // ordered). The band is small — tens of entries — so O(n log n) sorts and
+  // O(n^2) channel scans are cheaper than hashing.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return WireFiresLater{}(wire[b], wire[a]);
+  });
+  std::vector<std::uint64_t> channels;
+  std::vector<WireChoice> alts;
+  std::vector<std::size_t> alt_pos;  // position of each alternative in order
+  for (std::size_t p = 0; p < n; ++p) {
+    const WireEvent& e = wire[order[p]];
+    const std::uint64_t ch = e.key >> 32;
+    if (std::find(channels.begin(), channels.end(), ch) != channels.end()) {
+      continue;
+    }
+    channels.push_back(ch);
+    alts.push_back(WireChoice{e.when, e.defer, e.key});
+    alt_pos.push_back(p);
+  }
+  if (alts.size() < 2) return false;
+  const std::size_t pick = arb.choose_wire(alts.data(), alts.size());
+  assert(pick < alts.size() && "WireArbiter returned an out-of-range pick");
+  if (pick == 0 || pick >= alts.size()) return false;
+  const std::size_t chosen_pos = alt_pos[pick];
+  const Cycles when = alts[pick].when;
+  const std::uint32_t base = alts[pick].defer;
+  std::vector<std::size_t> deferred;  // wire indices, in displaced fire order
+  std::vector<std::uint64_t> hit;     // channels owning a deferred event
+  deferred.reserve(chosen_pos);
+  for (std::size_t p = 0; p < chosen_pos; ++p) {
+    deferred.push_back(order[p]);
+    const std::uint64_t ch = wire[order[p]].key >> 32;
+    if (std::find(hit.begin(), hit.end(), ch) == hit.end()) hit.push_back(ch);
+  }
+  // FIFO closure: same-instant followers of an already-deferred channel.
+  for (std::size_t p = chosen_pos + 1; p < n; ++p) {
+    const WireEvent& e = wire[order[p]];
+    if (e.when != when) break;  // order is ascending in when
+    if (std::find(hit.begin(), hit.end(), e.key >> 32) != hit.end()) {
+      deferred.push_back(order[p]);
+    }
+  }
+  for (std::size_t r = 0; r < deferred.size(); ++r) {
+    WireEvent& e = wire[deferred[r]];
+    e.when = when;
+    e.defer = base + 1 + static_cast<std::uint32_t>(r);
+  }
+  std::make_heap(wire.begin(), wire.end(), WireFiresLater{});
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // HeapScheduler
 // ---------------------------------------------------------------------------
 
@@ -41,7 +117,7 @@ void HeapScheduler::schedule_at(Cycles when, Action action) {
 void HeapScheduler::schedule_wire(Cycles when, std::uint64_t key,
                                   Action action) {
   assert(when > now_ && "wire events must be strictly in the future");
-  wire_.push_back(WireEvent{when, key, std::move(action)});
+  wire_.push_back(WireEvent{when, key, 0, std::move(action)});
   std::push_heap(wire_.begin(), wire_.end(), WireFiresLater{});
 }
 
@@ -51,6 +127,7 @@ void HeapScheduler::fire_wire() {
   wire_.pop_back();
   now_ = ev.when;
   ++fired_;
+  if (arbiter_ != nullptr) [[unlikely]] arbiter_->on_wire_fire(ev.key);
   ev.action();
 }
 
@@ -62,6 +139,9 @@ HeapScheduler::Event HeapScheduler::pop_top() {
 }
 
 bool HeapScheduler::step() {
+  if (arbiter_ != nullptr && wire_first()) [[unlikely]] {
+    arbitrate_wire(wire_, *arbiter_);
+  }
   if (wire_first()) {
     fire_wire();
     return true;
@@ -339,7 +419,7 @@ void TieredScheduler::fire_heap() {
 void TieredScheduler::schedule_wire(Cycles when, std::uint64_t key,
                                     Action action) {
   assert(when > now_ && "wire events must be strictly in the future");
-  wire_.push_back(WireEvent{when, key, std::move(action)});
+  wire_.push_back(WireEvent{when, key, 0, std::move(action)});
   std::push_heap(wire_.begin(), wire_.end(), WireFiresLater{});
 }
 
@@ -349,6 +429,7 @@ void TieredScheduler::fire_wire() {
   wire_.pop_back();
   now_ = ev.when;
   ++fired_;
+  if (arbiter_ != nullptr) [[unlikely]] arbiter_->on_wire_fire(ev.key);
   ev.action();
 }
 
@@ -371,6 +452,13 @@ void TieredScheduler::fire_next() {
 bool TieredScheduler::step() {
   const bool have_normal =
       !(lane_.head == nullptr && !advance() && heap_.empty());
+  if (arbiter_ != nullptr && !wire_.empty() &&
+      (!have_normal || wire_.front().when <= normal_next_time()))
+      [[unlikely]] {
+    // Arbitration may defer the band head past the normal band, so the
+    // wire-vs-normal comparison below runs on the post-arbitration state.
+    arbitrate_wire(wire_, *arbiter_);
+  }
   if (!wire_.empty() &&
       (!have_normal || wire_.front().when <= normal_next_time())) {
     fire_wire();
@@ -391,6 +479,10 @@ bool TieredScheduler::run_until(Cycles deadline) {
     const bool have_normal =
         !(lane_.head == nullptr && !advance() && heap_.empty());
     Cycles next = have_normal ? normal_next_time() : kNever;
+    if (arbiter_ != nullptr && !wire_.empty() && wire_.front().when <= next)
+        [[unlikely]] {
+      arbitrate_wire(wire_, *arbiter_);
+    }
     bool wire = false;
     if (!wire_.empty() && wire_.front().when <= next) {
       next = wire_.front().when;

@@ -50,6 +50,39 @@
 #include "engine/types.hpp"
 
 namespace svmsim::engine {
+
+/// One co-enabled wire-band alternative offered to a WireArbiter: the
+/// earliest pending delivery of one channel (key >> 32 identifies the
+/// channel — see src/net/wire_key.hpp). Alternatives are presented in the
+/// band's fire order, so alts[0] is the delivery that would fire by default.
+struct WireChoice {
+  Cycles when = 0;
+  std::uint32_t defer = 0;
+  std::uint64_t key = 0;
+};
+
+/// Scheduler hook consulted whenever the wire band is about to fire while
+/// two or more delivery channels have a pending head. Returning i > 0 defers
+/// every delivery ordered before alts[i] until just after it (per-channel
+/// FIFO order is preserved), making the chosen delivery fire next; returning
+/// 0 keeps the default order. Installed via set_wire_arbiter(); null (the
+/// default) costs one branch per wire fire and changes nothing — normal
+/// simulations never see it. The schedule explorer (src/explore/) is the
+/// only client; see docs/exploration.md for the choice-point contract.
+class WireArbiter {
+ public:
+  virtual ~WireArbiter() = default;
+
+  /// Pick which of `n` (>= 2) channel heads fires next; must return < n.
+  virtual std::size_t choose_wire(const WireChoice* alts, std::size_t n) = 0;
+
+  /// Observation: `key` is about to fire off the wire band. Called for
+  /// *every* wire fire (including solo fires that offered no choice), so an
+  /// explorer's sleep-set bookkeeping sees actions that bypassed
+  /// choose_wire. Default: ignore.
+  virtual void on_wire_fire(std::uint64_t key) { (void)key; }
+};
+
 namespace detail {
 
 /// One scheduled event. The inline capacity of 24 bytes covers the captures
@@ -71,23 +104,38 @@ struct FiresLater {
   }
 };
 
-/// A wire-band event: a cross-node packet delivery ordered by (time, key)
-/// instead of (time, seq). See the file comment for why the key is content-
-/// derived. Wire events are always strictly in the future (the network's
-/// latency floor is >= 1 cycle), which schedule_wire() asserts.
+/// A wire-band event: a cross-node packet delivery ordered by (time, defer,
+/// key) instead of (time, seq). See the file comment for why the key is
+/// content-derived. `defer` is 0 everywhere except under a WireArbiter,
+/// where it encodes how a chosen alternative displaced the events that
+/// would have fired before it — default runs never produce a nonzero defer,
+/// so (time, key) remains the observable order. Wire events are always
+/// strictly in the future (the network's latency floor is >= 1 cycle),
+/// which schedule_wire() asserts.
 struct WireEvent {
   Cycles when = 0;
   std::uint64_t key = 0;
+  std::uint32_t defer = 0;
   BasicInlineAction<24> action;
 };
 
-/// Heap comparator for the wire band: "a fires later than b" by (time, key).
+/// Heap comparator for the wire band: "a fires later than b" by
+/// (time, defer, key).
 struct WireFiresLater {
   bool operator()(const WireEvent& a, const WireEvent& b) const noexcept {
     if (a.when != b.when) return a.when > b.when;
+    if (a.defer != b.defer) return a.defer > b.defer;
     return a.key > b.key;
   }
 };
+
+/// Consult `arb` over the current per-channel heads of `wire` (a min-heap by
+/// WireFiresLater). Called only when the band is about to fire; with fewer
+/// than two distinct channels pending there is no decision and the call is a
+/// no-op. Returns true if the arbiter reordered the band (the caller must
+/// re-compare wire-vs-normal band priority: deferral can push the wire head
+/// past pending (time, seq) events).
+bool arbitrate_wire(std::vector<WireEvent>& wire, WireArbiter& arb);
 
 /// The original binary-heap scheduler: one std::vector driven by
 /// std::push_heap/pop_heap, O(log n) comparator churn per event.
@@ -131,10 +179,14 @@ class HeapScheduler {
     wire_.reserve(wire_.size() + batch.size());
     for (auto& e : batch) {
       assert(e.when > now_ && "wire events must be strictly in the future");
-      wire_.push_back(WireEvent{e.when, e.key, std::move(e.item)});
+      wire_.push_back(WireEvent{e.when, e.key, 0, std::move(e.item)});
     }
     std::make_heap(wire_.begin(), wire_.end(), WireFiresLater{});
   }
+
+  /// Install (or clear, with nullptr) the wire-band choice hook. Serial
+  /// explorer-mode only; see WireArbiter.
+  void set_wire_arbiter(WireArbiter* arb) noexcept { arbiter_ = arb; }
 
   /// Pre-size the event storage (events, not bytes).
   void reserve(std::size_t events) { heap_.reserve(events); }
@@ -203,7 +255,8 @@ class HeapScheduler {
   static std::vector<Event>& spare_slot();
 
   std::vector<Event> heap_;
-  std::vector<WireEvent> wire_;  // min-heap by (when, key)
+  std::vector<WireEvent> wire_;  // min-heap by (when, defer, key)
+  WireArbiter* arbiter_ = nullptr;
   Cycles now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
@@ -291,10 +344,14 @@ class TieredScheduler {
     wire_.reserve(wire_.size() + batch.size());
     for (auto& e : batch) {
       assert(e.when > now_ && "wire events must be strictly in the future");
-      wire_.push_back(WireEvent{e.when, e.key, std::move(e.item)});
+      wire_.push_back(WireEvent{e.when, e.key, 0, std::move(e.item)});
     }
     std::make_heap(wire_.begin(), wire_.end(), WireFiresLater{});
   }
+
+  /// Install (or clear, with nullptr) the wire-band choice hook. Serial
+  /// explorer-mode only; see WireArbiter.
+  void set_wire_arbiter(WireArbiter* arb) noexcept { arbiter_ = arb; }
 
   /// Pre-size the event node pool (events, not bytes).
   void reserve(std::size_t events);
@@ -440,7 +497,8 @@ class TieredScheduler {
   std::uint32_t counts_[kLevels][kSlots] = {};
   std::uint64_t bits_[kLevels][kWords] = {};
   std::vector<Node*> heap_;           // tier 3: overflow/out-of-band heap
-  std::vector<WireEvent> wire_;       // wire band: min-heap by (when, key)
+  std::vector<WireEvent> wire_;       // wire band: min-heap (when, defer, key)
+  WireArbiter* arbiter_ = nullptr;
   Cycles now_ = 0;
   Cycles cursor_ = 0;                 // first time not yet swept to the lane
   std::size_t wheel_count_ = 0;

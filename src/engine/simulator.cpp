@@ -1,5 +1,12 @@
 #include "engine/simulator.hpp"
 
-// All simulator primitives are defined inline in the header; this
-// translation unit exists so the build has a stable anchor for the module.
-namespace svmsim::engine {}
+#include "engine/choice.hpp"
+
+namespace svmsim::engine {
+
+void Simulator::set_choice_hook(ChoiceHook* h) noexcept {
+  choice_ = h;
+  queue_.set_wire_arbiter(h);
+}
+
+}  // namespace svmsim::engine

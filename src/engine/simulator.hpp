@@ -23,6 +23,8 @@ class Checker;
 
 namespace svmsim::engine {
 
+class ChoiceHook;
+
 class Simulator {
  public:
   [[nodiscard]] Cycles now() const noexcept { return queue_.now(); }
@@ -51,6 +53,13 @@ class Simulator {
   [[nodiscard]] check::Checker* checker() const noexcept { return checker_; }
   void set_checker(check::Checker* c) noexcept { checker_ = c; }
 
+  /// The run's schedule-choice hook, or nullptr outside explorer mode (the
+  /// common case). Installing it also registers the hook as the event
+  /// queue's wire arbiter; nondeterminism sites (interrupt dispatch, poll
+  /// ticks) reach it through their sim_ pointer. See engine/choice.hpp.
+  [[nodiscard]] ChoiceHook* choice_hook() const noexcept { return choice_; }
+  void set_choice_hook(ChoiceHook* h) noexcept;
+
   /// Awaitable that suspends the coroutine for `d` cycles. d == 0 still goes
   /// through the event queue, i.e. it yields to any already-scheduled event
   /// at the current time.
@@ -78,6 +87,7 @@ class Simulator {
   EventQueue queue_;
   trace::Tracer* tracer_ = nullptr;
   check::Checker* checker_ = nullptr;
+  ChoiceHook* choice_ = nullptr;
 };
 
 /// One-shot broadcast event: waiters suspend until fire() is called; waits

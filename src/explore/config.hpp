@@ -1,0 +1,56 @@
+// Exploration budgets and branching policy for the schedule explorer.
+//
+// Kept free of explorer machinery (like check/config.hpp vs checker.hpp) so
+// bench/explore.cpp can parse flags into an ExploreConfig without pulling in
+// the DFS driver.
+#pragma once
+
+#include <cstdint>
+
+namespace svmsim::explore {
+
+/// Which alternatives at a wire decision point become branches.
+enum class Branching : std::uint8_t {
+  /// Branch to every co-enabled alternative (minus sleep-set suppression).
+  /// Exhaustive over the hook-visible choice tree; the pinned-state-count
+  /// smoke tests use this on configs small enough to enumerate fully.
+  kFull,
+  /// DPOR-style: branch only to alternatives *dependent* on the default
+  /// choice — deliveries to the same destination node (different-node
+  /// deliveries commute: they touch disjoint NI/host state and their
+  /// mutual order is invisible to every oracle rule). Optionally refined
+  /// by happens-before pruning (ExploreConfig::hb_prune).
+  kDependent,
+};
+
+[[nodiscard]] constexpr const char* to_string(Branching b) noexcept {
+  return b == Branching::kFull ? "full" : "dependent";
+}
+
+struct ExploreConfig {
+  Branching branching = Branching::kFull;
+
+  /// kDependent only: skip a same-destination alternative when the sending
+  /// nodes' checker clocks are strictly ordered at decision time — the
+  /// deliveries are causally chained, so the alternative order is not
+  /// reachable by any commuting of concurrent events. Requires a run with
+  /// checking enabled; silently inert otherwise.
+  bool hb_prune = true;
+
+  /// Branch on interrupt-dispatch nondeterminism too: round-robin victim
+  /// override and poll-tick slip. Off = wire deliveries only.
+  bool irq_choices = true;
+
+  /// Hard cap on complete runs (states). Exploration stops with
+  /// budget_exhausted once reached.
+  std::uint64_t max_states = 4096;
+
+  /// Stop at the first schedule with a violation (oracle, validate(), or
+  /// run error) instead of exhausting the tree.
+  bool stop_on_violation = false;
+
+  /// How many violating schedules to keep (each is a full replay recipe).
+  std::uint64_t max_violations_kept = 8;
+};
+
+}  // namespace svmsim::explore

@@ -1,0 +1,88 @@
+// Schedules: the record/replay currency of the explorer.
+//
+// A Schedule is the full decision log of one run — one Choice per hook
+// consultation, in consultation order. Because the engine is deterministic
+// between decisions, a schedule pins the entire interleaving: re-executing
+// from t=0 and forcing each decision to its recorded value reproduces the
+// run byte-for-byte (same Stats, same violations, same finish time).
+//
+// The on-disk format (save/load) is versioned and self-checking:
+//
+//   "SVMSCHED" magic          8 bytes
+//   version                   u32 LE
+//   config fingerprint        u64 LE   (fnv1a over app + machine params)
+//   record count              u32 LE
+//   records                   count x { kind u8, value u64 LE }
+//   checksum                  u64 LE   (fnv1a over everything above)
+//
+// Decode distinguishes truncation, wrong magic, wrong version, checksum
+// mismatch and fingerprint mismatch so bench/explore can say *why* a replay
+// file was rejected. See docs/exploration.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svmsim::explore {
+
+/// The three kinds of decision the engine funnels through ChoiceHook.
+enum class ChoiceKind : std::uint8_t {
+  kWire = 1,      ///< value = the chosen delivery's wire key (net/wire_key.hpp)
+  kVictim = 2,    ///< value = (node << 32) | chosen processor index
+  kPollSlip = 3,  ///< value = (node << 32) | slip (0 or 1)
+};
+
+[[nodiscard]] std::string_view to_string(ChoiceKind k) noexcept;
+
+struct Choice {
+  ChoiceKind kind;
+  std::uint64_t value;
+
+  bool operator==(const Choice&) const = default;
+};
+
+using Schedule = std::vector<Choice>;
+
+/// FNV-1a 64 over a byte string; the building block for both the config
+/// fingerprint and the file checksum (deliberately simple and dependency
+/// free — this is an integrity check, not a security boundary).
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes,
+                                  std::uint64_t seed = 0xcbf29ce484222325ull);
+
+enum class DecodeError : std::uint8_t {
+  kOk = 0,
+  kTruncated,       ///< file shorter than its own record count promises
+  kBadMagic,        ///< not a schedule file
+  kBadVersion,      ///< schedule from an incompatible format revision
+  kBadChecksum,     ///< bit rot / hand-edited records
+  kBadFingerprint,  ///< schedule was recorded against a different config
+};
+
+[[nodiscard]] std::string_view to_string(DecodeError e) noexcept;
+
+inline constexpr std::uint32_t kScheduleVersion = 1;
+
+/// Serialize `s` with the given config fingerprint.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Schedule& s,
+                                               std::uint64_t fingerprint);
+
+/// Parse an encoded schedule. On kOk fills `out`; any other result leaves
+/// `out` untouched. `expect_fingerprint` must match the embedded one;
+/// pass the recorded value read via peek_fingerprint (or re-derive it from
+/// the config) — there is no skip-the-check mode by design: replaying a
+/// schedule against the wrong machine silently diverges.
+[[nodiscard]] DecodeError decode(const std::uint8_t* data, std::size_t size,
+                                 std::uint64_t expect_fingerprint,
+                                 Schedule& out);
+
+/// Write/read the on-disk form. save returns false on I/O failure; load
+/// maps I/O failure to kTruncated (an unreadable file carries no records).
+[[nodiscard]] bool save_file(const std::string& path, const Schedule& s,
+                             std::uint64_t fingerprint);
+[[nodiscard]] DecodeError load_file(const std::string& path,
+                                    std::uint64_t expect_fingerprint,
+                                    Schedule& out);
+
+}  // namespace svmsim::explore

@@ -83,6 +83,17 @@ class NodeComm {
   /// Register the AURC hardware-update sink on every NI of this node.
   void set_on_update(std::function<void(const Message&)> fn);
 
+  /// True once any of this node's NIs has seen a same-cycle descending-
+  /// source arrival pair (Nic::reorder_witnessed) — the trigger of the
+  /// kReorderSensitiveNotice fault injection, consulted by the protocol
+  /// layer's invalidation path.
+  [[nodiscard]] bool reorder_witnessed() const noexcept {
+    for (const Nic* n : nics_) {
+      if (n->reorder_witnessed()) return true;
+    }
+    return false;
+  }
+
  private:
   void dispatch(Message&& m);
 

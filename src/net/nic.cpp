@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "check/checker.hpp"
+#include "net/wire_key.hpp"
 #include "trace/trace.hpp"
 
 namespace svmsim::net {
@@ -192,6 +194,17 @@ engine::Task<void> Nic::tx_loop() {
 }
 
 void Nic::packet_arrived(Packet p) {
+  if (SVMSIM_CHECK_MUTATION_IS(*sim_, kReorderSensitiveNotice)) {
+    // Arm the planted bug when two arrivals share a cycle with the later
+    // one from a lower-numbered source. The default band order delivers
+    // same-cycle packets in ascending key = ascending source, so only an
+    // explored (deferred) schedule can ever set this.
+    if (sim_->now() == last_arrival_when_ && p.src < last_arrival_src_) {
+      reorder_witnessed_ = true;
+    }
+    last_arrival_when_ = sim_->now();
+    last_arrival_src_ = p.src;
+  }
   recv_q_bytes_ += p.bytes;
   if (recv_q_bytes_ > arch_->ni_queue_bytes) {
     ++counters_->ni_queue_overflows;
@@ -248,13 +261,9 @@ void Network::transmit(Packet p, Cycles now) {
                  .at(static_cast<std::size_t>(p.nic_index));
   // (dst, src, NI, launch seq): a total order on same-cycle deliveries that
   // only depends on the sending NI's local history — identical in serial
-  // and partitioned runs.
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.dst)) << 52) |
-      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.src)) << 40) |
-      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.nic_index))
-       << 32) |
-      p.wire_seq;
+  // and partitioned runs. Packing/decoding lives in net/wire_key.hpp.
+  const std::uint64_t key = make_wire_key(p.dst, p.src, p.nic_index,
+                                          p.wire_seq);
   // The closure is kept to (pointer, ref, u32, bool) so it fits the event
   // queue's 24-byte inline action storage: no allocation per packet hop.
   const auto bytes32 = static_cast<std::uint32_t>(p.bytes);
@@ -282,32 +291,13 @@ void Network::transmit(Packet p, Cycles now) {
   sim_->queue().schedule_wire(when, key, std::move(deliver));
 }
 
-namespace {
-
-// Wire-key field extraction (the packing lives in transmit/transmit_routed).
-inline NodeId key_dst(std::uint64_t key) noexcept {
-  return static_cast<NodeId>((key >> 52) & 0xfff);
-}
-inline NodeId key_src(std::uint64_t key) noexcept {
-  return static_cast<NodeId>((key >> 40) & 0xfff);
-}
-inline int key_nic(std::uint64_t key) noexcept {
-  return static_cast<int>((key >> 32) & 0xff);
-}
-
-}  // namespace
-
 void Network::transmit_routed(Packet p, Cycles now) {
   // Same key as the legacy path: (dst, src, NI, launch seq) totally orders
   // same-cycle wire events by sender history alone. A single packet's hop
   // events strictly increase in time (every link has latency >= 1), so the
   // key never repeats at one timestamp.
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.dst)) << 52) |
-      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.src)) << 40) |
-      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.nic_index))
-       << 32) |
-      p.wire_seq;
+  const std::uint64_t key = make_wire_key(p.dst, p.src, p.nic_index,
+                                          p.wire_seq);
   core::PoolRef<Hop> h = hop_pool_.acquire();
   h->msg = std::move(p.msg);
   h->key = key;
@@ -328,7 +318,7 @@ void Network::transmit_routed(Packet p, Cycles now) {
 
 void Network::hop(core::PoolRef<Hop> h, Cycles now) {
   topo::Topology::RouteBuf r;
-  topo_->route(key_src(h->key), key_dst(h->key), r);
+  topo_->route(wire_key_src(h->key), wire_key_dst(h->key), r);
   topo::Link& L =
       topo_->link(r.link[static_cast<std::size_t>(h->next)]);
   // This event fires on the thread of the partition owning L (scheduling
@@ -358,7 +348,7 @@ void Network::hop(core::PoolRef<Hop> h, Cycles now) {
   const bool final_hop = static_cast<int>(h->next) == r.hops;
   const NodeId from = L.owner;
   const NodeId to = final_hop
-                        ? key_dst(h->key)
+                        ? wire_key_dst(h->key)
                         : topo_->link(r.link[static_cast<std::size_t>(h->next)])
                               .owner;
   const std::uint64_t key = h->key;
@@ -389,16 +379,16 @@ void Network::hop(core::PoolRef<Hop> h, Cycles now) {
 }
 
 void Network::deliver(core::PoolRef<Hop> h) {
-  const NodeId dst = key_dst(h->key);
+  const NodeId dst = wire_key_dst(h->key);
   if (!wire_pending_.empty()) {
     --wire_pending_[static_cast<std::size_t>(
                         node_part_[static_cast<std::size_t>(dst)])]
           .n;
   }
   Nic* nic = nics_.at(static_cast<std::size_t>(dst))
-                 .at(static_cast<std::size_t>(key_nic(h->key)));
+                 .at(static_cast<std::size_t>(wire_key_nic(h->key)));
   Packet q;
-  q.src = key_src(h->key);
+  q.src = wire_key_src(h->key);
   q.dst = dst;
   q.nic_index = nic->index();
   q.bytes = h->bytes;

@@ -97,6 +97,17 @@ class Nic {
     return remote_pending_ > 0;
   }
 
+  /// True once this NI has witnessed two same-cycle packet arrivals in
+  /// descending source order — impossible under the baseline wire-band
+  /// order (same-cycle same-destination deliveries fire in ascending key,
+  /// i.e. ascending source), reachable only when a schedule explorer defers
+  /// deliveries. Sticky for the rest of the run; tracked only while the
+  /// kReorderSensitiveNotice fault injection is active (see packet_arrived),
+  /// so default runs never touch the bookkeeping.
+  [[nodiscard]] bool reorder_witnessed() const noexcept {
+    return reorder_witnessed_;
+  }
+
   /// Absolute lower bound on the next time this NI can launch a
   /// cross-partition packet. Computed live from the tx pipeline's current
   /// stage and the occupied resource's busy_until() — a barrier that
@@ -151,6 +162,11 @@ class Nic {
   engine::RingQueue<Packet> recv_q_;
   std::uint64_t recv_q_bytes_ = 0;
   engine::Semaphore recv_items_;
+
+  /// kReorderSensitiveNotice bookkeeping (see reorder_witnessed()).
+  Cycles last_arrival_when_ = kNever;
+  NodeId last_arrival_src_ = -1;
+  bool reorder_witnessed_ = false;
 };
 
 /// Crossbar network: constant-latency links at processor speed. Contention

@@ -1,0 +1,61 @@
+// Wire-key packing: the commutativity metadata of the wire band.
+//
+// Every cross-node packet hop is scheduled on the wire band under a
+// content-derived 64-bit key packing (dst node, src node, NI index, per-NI
+// launch sequence). Two facts about the layout matter to more than the
+// network layer, which is why the helpers are public rather than private to
+// nic.cpp:
+//
+//  * key >> 32 — the (dst, src, NI) triple — identifies a *delivery
+//    channel*. Events on one channel are FIFO by construction (the low
+//    32 bits are the sender's launch sequence) and must never be reordered
+//    against each other; events on different channels are the engine's unit
+//    of schedule freedom. The wire arbiter (engine::WireArbiter) and the
+//    schedule explorer (src/explore/) both branch on channel identity.
+//  * The destination field says which node's state a delivery mutates:
+//    deliveries to different nodes commute, which is the independence
+//    relation the explorer's pruning is built on (docs/exploration.md).
+//
+// Field widths (asserted by Network::add_nic): 12-bit node ids, 8-bit NI
+// index, 32-bit launch sequence.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/types.hpp"
+
+namespace svmsim::net {
+
+[[nodiscard]] constexpr std::uint64_t make_wire_key(
+    NodeId dst, NodeId src, int nic_index, std::uint32_t wire_seq) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 52) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(nic_index))
+          << 32) |
+         wire_seq;
+}
+
+[[nodiscard]] constexpr NodeId wire_key_dst(std::uint64_t key) noexcept {
+  return static_cast<NodeId>((key >> 52) & 0xfff);
+}
+
+[[nodiscard]] constexpr NodeId wire_key_src(std::uint64_t key) noexcept {
+  return static_cast<NodeId>((key >> 40) & 0xfff);
+}
+
+[[nodiscard]] constexpr int wire_key_nic(std::uint64_t key) noexcept {
+  return static_cast<int>((key >> 32) & 0xff);
+}
+
+[[nodiscard]] constexpr std::uint32_t wire_key_seq(std::uint64_t key) noexcept {
+  return static_cast<std::uint32_t>(key & 0xffffffffu);
+}
+
+/// The delivery-channel id: the (dst, src, NI) triple. Same channel => FIFO;
+/// different channels => the schedule explorer's unit of reordering.
+[[nodiscard]] constexpr std::uint64_t wire_key_channel(
+    std::uint64_t key) noexcept {
+  return key >> 32;
+}
+
+}  // namespace svmsim::net

@@ -630,6 +630,14 @@ Task<void> SvmAgent::apply_invalidations(Processor& p, const VClock& target) {
   if (SVMSIM_CHECK_MUTATION_IS(*sim_, kSkippedNotice) && !pages.empty()) {
     pages.pop_back();
   }
+  // Fault injection (kReorderSensitiveNotice): the same dropped notice, but
+  // latent until some NI on this node has witnessed a same-cycle descending-
+  // source arrival pair — a state only a reordered (explored) schedule can
+  // reach, never the baseline wire-band order. See docs/exploration.md.
+  if (SVMSIM_CHECK_MUTATION_IS(*sim_, kReorderSensitiveNotice) &&
+      comm_->reorder_witnessed() && !pages.empty()) {
+    pages.pop_back();
+  }
 
   const std::uint32_t pb = space_->page_bytes();
   for (PageId page : pages) {

@@ -41,9 +41,12 @@ TEST(CheckConfig, ParseMutationRoundTrips) {
   EXPECT_EQ(parse_mutation("stale_read"), Mutation::kStaleRead);
   EXPECT_EQ(parse_mutation("lost_diff"), Mutation::kLostDiff);
   EXPECT_EQ(parse_mutation("skipped_notice"), Mutation::kSkippedNotice);
+  EXPECT_EQ(parse_mutation("reorder_sensitive_notice"),
+            Mutation::kReorderSensitiveNotice);
   EXPECT_FALSE(parse_mutation("bogus").has_value());
   for (Mutation m : {Mutation::kNone, Mutation::kStaleRead, Mutation::kLostDiff,
-                     Mutation::kSkippedNotice}) {
+                     Mutation::kSkippedNotice,
+                     Mutation::kReorderSensitiveNotice}) {
     EXPECT_EQ(parse_mutation(check::to_string(m)), m);
   }
 }
@@ -192,6 +195,99 @@ TEST_F(CheckerOracle, BarrierExitMustCoverFullRendezvous) {
   full.merge(b);
   ck.on_barrier_exit(10, 1, full);
   EXPECT_EQ(ck.violation_count(), 1u);  // covering exit adds nothing
+}
+
+TEST_F(CheckerOracle, ReacquireMustCoverLatestReleaseNotJustAnEarlierOne) {
+  // Two releases of the same lock by different nodes: the second acquire
+  // covering only the *first* release is still a broken handoff — the
+  // oracle tracks the latest release, not any release.
+  VClock rel0(4);
+  rel0.advance(0);
+  ck_.on_lock_release(5, 0, 17, rel0);
+  VClock rel1(4);
+  rel1.merge(rel0);
+  rel1.advance(1);
+  ck_.on_lock_release(8, 1, 17, rel1);
+  VClock acq(4);
+  acq.merge(rel0);  // sees node 0's interval, misses node 1's
+  ck_.on_lock_acquired(12, 2, 17, acq);
+  EXPECT_TRUE(has(Kind::kLockHandoff));
+}
+
+TEST_F(CheckerOracle, DistinctLocksHaveIndependentHandoffChains) {
+  VClock rel(4);
+  rel.advance(0);
+  ck_.on_lock_release(5, 0, 17, rel);
+  // Acquiring a *different* lock with an empty clock is fine: lock 21 has
+  // no prior release, and lock 17's chain is untouched.
+  VClock acq(4);
+  ck_.on_lock_acquired(9, 1, 21, acq);
+  EXPECT_TRUE(ck_.clean());
+  // A covering acquire of 17 after the interleaved 21 traffic stays clean.
+  VClock acq17(4);
+  acq17.merge(rel);
+  ck_.on_lock_acquired(11, 2, 17, acq17);
+  EXPECT_TRUE(ck_.clean());
+}
+
+TEST_F(CheckerOracle, BarrierEarlyExitBeforeFullRendezvousCaught) {
+  AddressSpace space(2, 1024);
+  space.alloc(1024, Distribution::block());
+  Checker ck(check::Config{true, ""}, space);
+  VClock a(2);
+  a.advance(0);
+  ck.on_barrier_flush(5, 0, a);
+  // Node 0 exits while node 1 has not even arrived: a rendezvous that
+  // never happened, regardless of what the exit clock claims to cover.
+  ck.on_barrier_exit(6, 0, a);
+  EXPECT_EQ(ck.violation_count(), 1u);
+}
+
+TEST_F(CheckerOracle, BackToBackEpochsKeepSeparateRendezvousClocks) {
+  AddressSpace space(2, 1024);
+  space.alloc(1024, Distribution::block());
+  Checker ck(check::Config{true, ""}, space);
+  // Epoch 0: full rendezvous, both exits covering — clean, epoch retired.
+  VClock a(2), b(2);
+  a.advance(0);
+  b.advance(1);
+  ck.on_barrier_flush(5, 0, a);
+  ck.on_barrier_flush(6, 1, b);
+  VClock full(2);
+  full.merge(a);
+  full.merge(b);
+  ck.on_barrier_exit(9, 0, full);
+  ck.on_barrier_exit(9, 1, full);
+  EXPECT_EQ(ck.violation_count(), 0u);
+  // Epoch 1 immediately after: exiting with only epoch-0 coverage must be
+  // flagged — the new intervals cut at the second flush are missing.
+  VClock a2(2), b2(2);
+  a2.merge(full);
+  a2.advance(0);
+  b2.merge(full);
+  b2.advance(1);
+  ck.on_barrier_flush(12, 0, a2);
+  ck.on_barrier_flush(13, 1, b2);
+  ck.on_barrier_exit(15, 0, full);  // stale: covers epoch 0, not epoch 1
+  EXPECT_EQ(ck.violation_count(), 1u);
+  VClock full2(2);
+  full2.merge(a2);
+  full2.merge(b2);
+  ck.on_barrier_exit(16, 1, full2);
+  EXPECT_EQ(ck.violation_count(), 1u);
+}
+
+TEST_F(CheckerOracle, NodeClockAccessorTracksLatestAcceptedClock) {
+  // The explorer's happens-before pruner reads per-node clocks through
+  // node_clock(); they must reflect the latest clock the checker accepted.
+  EXPECT_EQ(ck_.node_clock(2), VClock(4));
+  ck_.on_flush_cut(2);  // open interval 2: own component 1 is now closed
+  VClock vc(4);
+  vc.advance(2);
+  ck_.on_vclock(5, 2, vc);
+  EXPECT_TRUE(ck_.clean());
+  EXPECT_EQ(ck_.node_clock(2), vc);
+  EXPECT_EQ(ck_.node_clock(1), VClock(4));
 }
 
 TEST_F(CheckerOracle, ClockMayNotRunAheadOfTheFlushCut) {

@@ -75,6 +75,19 @@ else
   # pooled clock body at 64 nodes is a real allocation, so lifetime bugs in
   # the sparse transport (docs/scaling.md) surface as use-after-free.
   "$build_dir/bench/sweep_dump" --apps=stress-gen@3 --procs=256 > /dev/null
+  # Schedule exploration under ASan/UBSan: the exhaustive tiny config plus
+  # a record->replay round trip exercise the forced-prefix replay, sleep
+  # sets and the schedule file codec with every allocation instrumented.
+  "$build_dir/bench/explore" --app=stress-micro@3 --procs=2 --ppn=1 \
+    --page-bytes=32 --wire-latency=4000 --mode=full --max-states=4096 \
+    --expect-states=13 --expect-violations=0 > /dev/null
+  "$build_dir/bench/explore" --app=stress-micro@3 --procs=2 --ppn=1 \
+    --page-bytes=32 --wire-latency=4000 --record="$build_dir/ci.sched" \
+    > /dev/null
+  "$build_dir/bench/explore" --app=stress-micro@3 --procs=2 --ppn=1 \
+    --page-bytes=32 --wire-latency=4000 --replay="$build_dir/ci.sched" \
+    > /dev/null
+  rm -f "$build_dir/ci.sched"
   echo "sanitize.sh: ASan/UBSan arm passed (full suite + 256-proc stress" \
-    "point)"
+    "point + explore exhaustive/replay)"
 fi
